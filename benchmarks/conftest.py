@@ -1,0 +1,52 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one table/figure of the paper at a scaled-down
+topology (see DESIGN.md §5) and registers the rendered rows here; the
+``pytest_terminal_summary`` hook prints every table at the end of the run so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` captures the
+reproduced series alongside the timing numbers.
+
+The Brahms baselines are shared through a session-scoped cache: Figs. 5-9
+and 13 all compare against the same Fig. 3 runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+from repro.experiments.figures import BaselineCache, Scale
+
+#: One bench scale for the whole suite.  N=300 at view-ratio 0.08 keeps the
+#: paper's trusted-meeting dynamics (view size 24) while a full sweep stays
+#: tractable in pure Python.
+BENCH = Scale(n_nodes=300, rounds=80, repetitions=1, view_ratio=0.08, base_seed=2024)
+
+_REPORTS: List[str] = []
+
+
+def record_report(text: str) -> None:
+    _REPORTS.append(text)
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> Scale:
+    return BENCH
+
+
+@pytest.fixture(scope="session")
+def baseline_cache() -> BaselineCache:
+    return BaselineCache(BENCH)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 72)
+    terminalreporter.write_line("Reproduced paper tables/figures (scaled topology, see DESIGN.md §5)")
+    terminalreporter.write_line("=" * 72)
+    for report in _REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(report)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The SGX trusted-node lifecycle, step by step.
+
+Walks the full trusted computing base exactly as a RAPTEE operator would:
+
+1. manufacture an SGX device and certify it with the attestation service;
+2. load the RAPTEE enclave and verify the ECALL boundary holds;
+3. remote-attest and provision the group key K_T (never visible outside);
+4. seal K_T, "reboot" the enclave, restore from the sealed blob;
+5. run the §IV-A mutual authentication between two trusted enclaves, then
+   show a Byzantine impostor failing it.
+
+Run:  python examples/enclave_lifecycle.py
+"""
+
+from repro.core.auth import AuthScheme
+from repro.core.deployment import TrustedInfrastructure
+from repro.core.enclave import RapteeEnclave
+from repro.crypto.prng import Sha256Prng
+from repro.sgx.errors import EnclaveViolation, SealingError
+
+SEED = 99
+
+
+def main() -> None:
+    rng = Sha256Prng(SEED)
+    infrastructure = TrustedInfrastructure(rng.spawn("tcb"), provisioning_key_bits=512)
+
+    print("1. Manufacturing + certifying SGX device, loading enclave…")
+    enclave_a, device_a = infrastructure.new_trusted_enclave(device_id=1)
+    print(f"   measurement (MRENCLAVE): {enclave_a.measurement.hex()[:32]}…")
+    print(f"   provisioned: {enclave_a.is_provisioned()}")
+
+    print("\n2. Probing the ECALL boundary from untrusted code…")
+    try:
+        _ = enclave_a._group_key
+    except EnclaveViolation as error:
+        print(f"   blocked: {error}")
+
+    print("\n3. Sealing K_T and restoring after a simulated restart…")
+    blob = enclave_a.seal_group_key()
+    print(f"   sealed blob: {len(blob)} bytes (nonce ‖ AES-CTR ciphertext ‖ HMAC)")
+    rebooted = device_a.load(RapteeEnclave, provisioning_key_bits=512)
+    print(f"   fresh enclave provisioned: {rebooted.is_provisioned()}")
+    rebooted.restore_group_key(blob)
+    print(f"   after restore:             {rebooted.is_provisioned()}")
+    try:
+        other_device_enclave, other_device = infrastructure.new_trusted_enclave(2)
+        stranger = other_device.load(RapteeEnclave, provisioning_key_bits=512)
+        stranger.restore_group_key(blob)
+    except SealingError as error:
+        print(f"   other device cannot unseal: {error}")
+
+    print("\n4. Mutual authentication between two trusted enclaves (§IV-A)…")
+    enclave_b, _device_b = infrastructure.new_trusted_enclave(device_id=3)
+    protocol_rng = rng.spawn("auth")
+    r_a = AuthScheme.make_challenge(protocol_rng)
+    r_b, proof = enclave_b.auth_respond(r_a)
+    a_trusts_b = enclave_a.auth_check_response(r_a, r_b, proof)
+    confirm = enclave_a.auth_confirm(r_a, r_b)
+    b_trusts_a = enclave_b.auth_check_confirm(r_a, r_b, confirm)
+    print(f"   A→B challenge r_A, B→A (r_B, [H(r_A‖r_B)]_K): A trusts B = {a_trusts_b}")
+    print(f"   A→B [H(r_B‖r_A)]_K:                           B trusts A = {b_trusts_a}")
+
+    print("\n5. A Byzantine impostor with its own random key…")
+    impostor_scheme = AuthScheme("hmac")
+    impostor_key = protocol_rng.getrandbits(128).to_bytes(16, "big")
+    r_a = AuthScheme.make_challenge(protocol_rng)
+    parts = impostor_scheme.respond(impostor_key, r_a, protocol_rng)
+    accepted = enclave_a.auth_check_response(r_a, parts.r_b, parts.proof)
+    print(f"   enclave accepts impostor: {accepted}")
+    print("   (and the impostor learns nothing: a failed compare looks the")
+    print("    same whether the peer was honest-untrusted or trusted)")
+
+
+if __name__ == "__main__":
+    main()

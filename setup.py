@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on environments without the
+``wheel`` package (pip falls back to ``setup.py develop`` with
+``--no-use-pep517``).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

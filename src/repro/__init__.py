@@ -1,0 +1,55 @@
+"""RAPTEE reproduction: TEE-hardened Byzantine-tolerant peer sampling.
+
+Full reproduction of Pigaglio et al., "RAPTEE: Leveraging trusted execution
+environments for Byzantine-tolerant peer sampling services" (ICDCS 2022),
+with every substrate implemented from scratch.  See README.md for the
+architecture overview and DESIGN.md for the system inventory.
+
+Top-level convenience re-exports cover the most common entry points; the
+subpackages hold the full API:
+
+>>> from repro import TopologySpec, build_raptee_simulation, run_bundle
+>>> from repro.core.eviction import AdaptiveEviction
+>>> bundle = build_raptee_simulation(
+...     TopologySpec(n_nodes=100, byzantine_fraction=0.1, trusted_fraction=0.1),
+...     seed=1, eviction=AdaptiveEviction())
+>>> metrics = run_bundle(bundle, rounds=20)
+"""
+
+from repro.brahms import BrahmsConfig, BrahmsNode
+from repro.core import (
+    AdaptiveEviction,
+    FixedEviction,
+    RapteeConfig,
+    RapteeEnclave,
+    RapteeNode,
+    TrustedInfrastructure,
+)
+from repro.experiments import (
+    TopologySpec,
+    build_brahms_simulation,
+    build_raptee_simulation,
+    run_bundle,
+)
+from repro.sim import Network, NodeKind, Simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BrahmsConfig",
+    "BrahmsNode",
+    "AdaptiveEviction",
+    "FixedEviction",
+    "RapteeConfig",
+    "RapteeEnclave",
+    "RapteeNode",
+    "TrustedInfrastructure",
+    "TopologySpec",
+    "build_brahms_simulation",
+    "build_raptee_simulation",
+    "run_bundle",
+    "Network",
+    "NodeKind",
+    "Simulation",
+    "__version__",
+]

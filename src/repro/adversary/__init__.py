@@ -1,0 +1,20 @@
+"""Adversary models: the paper's attack strategies (§III-B, §VI)."""
+
+from repro.adversary.byzantine import ByzantineNode
+from repro.adversary.coordinator import AdversaryCoordinator
+from repro.adversary.identification import (
+    IdentificationAttack,
+    IdentificationReport,
+    PAPER_THRESHOLD,
+)
+from repro.adversary.poisoned import build_poisoned_trusted_node, poison_initial_state
+
+__all__ = [
+    "ByzantineNode",
+    "AdversaryCoordinator",
+    "IdentificationAttack",
+    "IdentificationReport",
+    "PAPER_THRESHOLD",
+    "build_poisoned_trusted_node",
+    "poison_initial_state",
+]

@@ -1,0 +1,103 @@
+"""Trusted-node identification attack (§VI-A).
+
+Each Byzantine node reports the Byzantine-ID fraction of every pull answer
+it receives from a correct node.  The adversary then:
+
+1. computes the average fraction over all observed correct nodes;
+2. labels a node *trusted* when its own observed fraction sits more than a
+   threshold *below* that average (trusted nodes evict, so their answers
+   contain fewer Byzantine IDs).  The paper's threshold — the one that
+   empirically maximizes attack effectiveness — is 10 %.
+
+Effectiveness is reported as precision, recall and F1 against the ground
+truth, exactly as Figures 10-12 do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Set
+
+from repro.adversary.coordinator import AdversaryCoordinator
+
+__all__ = ["IdentificationReport", "IdentificationAttack"]
+
+PAPER_THRESHOLD = 0.10
+
+
+@dataclass(frozen=True)
+class IdentificationReport:
+    """Outcome of one classification attempt."""
+
+    labeled_trusted: frozenset
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+class IdentificationAttack:
+    """The adversary's classifier over accumulated pull-answer intel."""
+
+    def __init__(self, coordinator: AdversaryCoordinator, threshold: float = PAPER_THRESHOLD):
+        if threshold <= 0.0:
+            raise ValueError("threshold must be positive")
+        self.coordinator = coordinator
+        self.threshold = threshold
+
+    def _mean_fraction_per_node(
+        self, since_round: int, until_round: int
+    ) -> Dict[int, float]:
+        means: Dict[int, float] = {}
+        for node_id, observations in self.coordinator.intel.items():
+            window = [
+                fraction
+                for (round_number, fraction) in observations
+                if since_round <= round_number <= until_round
+            ]
+            if window:
+                means[node_id] = sum(window) / len(window)
+        return means
+
+    def classify(
+        self,
+        true_trusted: Iterable[int],
+        since_round: int = 0,
+        until_round: int = 10**9,
+    ) -> IdentificationReport:
+        """Run the §VI-A classifier over the observation window."""
+        truth: Set[int] = set(true_trusted)
+        means = self._mean_fraction_per_node(since_round, until_round)
+        labeled: Set[int] = set()
+        if means:
+            population_mean = sum(means.values()) / len(means)
+            for node_id, fraction in means.items():
+                if population_mean - fraction > self.threshold:
+                    labeled.add(node_id)
+
+        true_positives = len(labeled & truth)
+        false_positives = len(labeled - truth)
+        false_negatives = len(truth - labeled)
+        return IdentificationReport(
+            labeled_trusted=frozenset(labeled),
+            true_positives=true_positives,
+            false_positives=false_positives,
+            false_negatives=false_negatives,
+        )
+
+    def observed_nodes(self) -> List[int]:
+        return sorted(self.coordinator.intel)

@@ -1,0 +1,98 @@
+"""Terminal plots for round series.
+
+The simulator's natural output is a per-round series (mean view pollution,
+per-kind pollution, eviction rates).  These helpers render them as compact
+ASCII charts so examples and ad-hoc investigations don't need a plotting
+stack: ``sparkline`` for one-liners, ``line_chart`` for a labelled
+multi-series canvas.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["sparkline", "line_chart", "pollution_series", "per_kind_series"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], minimum: Optional[float] = None,
+              maximum: Optional[float] = None) -> str:
+    """One-line unicode sparkline of a series."""
+    if not values:
+        return ""
+    low = min(values) if minimum is None else minimum
+    high = max(values) if maximum is None else maximum
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(values)
+    cells = []
+    top = len(_SPARK_LEVELS) - 1
+    for value in values:
+        level = int((value - low) / span * top + 0.5)
+        cells.append(_SPARK_LEVELS[max(0, min(top, level))])
+    return "".join(cells)
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    height: int = 10,
+    width: int = 60,
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII chart; each series gets its own marker.
+
+    Series are resampled to ``width`` columns; the y-axis spans the global
+    min/max across all series.
+    """
+    if not series or all(len(values) == 0 for values in series.values()):
+        return "(no data)"
+    if height < 2 or width < 8:
+        raise ValueError("chart must be at least 2 rows by 8 columns")
+
+    markers = "*+ox#@%&"
+    everything = [value for values in series.values() for value in values]
+    low, high = min(everything), max(everything)
+    span = high - low or 1.0
+
+    def resample(values: Sequence[float]) -> List[float]:
+        if len(values) <= width:
+            return list(values)
+        step = len(values) / width
+        return [values[int(index * step)] for index in range(width)]
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} {name}")
+        for column, value in enumerate(resample(values)):
+            row = int((value - low) / span * (height - 1) + 0.5)
+            canvas[height - 1 - row][column] = marker
+
+    lines = []
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            axis = f"{high:8.3f} ┤"
+        elif row_index == height - 1:
+            axis = f"{low:8.3f} ┤"
+        else:
+            axis = " " * 8 + " │"
+        lines.append(axis + "".join(row))
+    lines.append(" " * 9 + "└" + "─" * width)
+    lines.append(" " * 10 + "   ".join(legend) + (f"   ({y_label})" if y_label else ""))
+    return "\n".join(lines)
+
+
+def pollution_series(records) -> List[float]:
+    """Mean Byzantine fraction per round from a ViewTraceObserver trace."""
+    return [record.mean_byzantine_fraction for record in records]
+
+
+def per_kind_series(records, kind) -> List[float]:
+    """Mean Byzantine fraction per round for one node kind."""
+    series = []
+    for record in records:
+        values = record.by_kind.get(kind)
+        series.append(sum(values) / len(values) if values else 0.0)
+    return series

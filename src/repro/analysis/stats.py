@@ -1,0 +1,46 @@
+"""Small statistics helpers for repeated experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean / std / 95 % normal-approximation CI over repetitions."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    @property
+    def ci95_half_width(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(self.count)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean:.3f} ± {self.ci95_half_width:.3f} (n={self.count})"
+
+
+def summarize(values: Sequence[float]) -> Optional[Summary]:
+    """Summary of a sample; ``None`` for an empty one."""
+    cleaned = [float(value) for value in values]
+    if not cleaned:
+        return None
+    count = len(cleaned)
+    mean = sum(cleaned) / count
+    variance = sum((value - mean) ** 2 for value in cleaned) / count
+    return Summary(
+        count=count,
+        mean=mean,
+        std=math.sqrt(variance),
+        minimum=min(cleaned),
+        maximum=max(cleaned),
+    )

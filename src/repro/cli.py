@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common workflows:
+
+* ``run`` — execute one Brahms or RAPTEE simulation and print the paper's
+  three metrics;
+* ``figure`` — regenerate one paper table/figure (scaled topology) and
+  print its rows;
+* ``attack`` — run the §VI-A trusted-node identification attack and print
+  precision/recall/F1.
+
+Examples::
+
+    python -m repro run --protocol raptee --nodes 300 --f 0.1 --t 0.1
+    python -m repro figure fig9 --scale test
+    python -m repro attack --f 0.2 --t 0.2 --eviction 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.adversary.identification import IdentificationAttack
+from repro.core.eviction import AdaptiveEviction, EvictionPolicy, FixedEviction
+from repro.experiments.figures import (
+    BENCH_SCALE,
+    TEST_SCALE,
+    Scale,
+    figure3_brahms_baseline,
+    figure9_adaptive,
+    figure13_poisoned_injection,
+    fixed_eviction_figure,
+    identification_figure,
+    table1_sgx_overhead,
+)
+from repro.experiments.runner import run_bundle
+from repro.experiments.scenarios import (
+    TopologySpec,
+    build_brahms_simulation,
+    build_raptee_simulation,
+)
+
+__all__ = ["main", "build_parser", "parse_eviction"]
+
+_SCALES = {"test": TEST_SCALE, "bench": BENCH_SCALE}
+
+
+def parse_eviction(value: str) -> EvictionPolicy:
+    """Parse ``--eviction``: 'adaptive' or a fixed rate in [0, 1]."""
+    if value == "adaptive":
+        return AdaptiveEviction()
+    try:
+        rate = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"eviction must be 'adaptive' or a number in [0, 1], got {value!r}"
+        )
+    if not 0.0 <= rate <= 1.0:
+        raise argparse.ArgumentTypeError("fixed eviction rate must be in [0, 1]")
+    return FixedEviction(rate)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="RAPTEE reproduction toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one simulation")
+    run_parser.add_argument("--protocol", choices=("brahms", "raptee"), default="raptee")
+    run_parser.add_argument("--nodes", type=int, default=300)
+    run_parser.add_argument("--f", type=float, default=0.10, help="Byzantine fraction")
+    run_parser.add_argument("--t", type=float, default=0.10, help="trusted fraction")
+    run_parser.add_argument("--poisoned", type=float, default=0.0,
+                            help="injected view-poisoned trusted fraction")
+    run_parser.add_argument("--rounds", type=int, default=80)
+    run_parser.add_argument("--seed", type=int, default=1)
+    run_parser.add_argument("--view-ratio", type=float, default=0.08)
+    run_parser.add_argument("--eviction", type=parse_eviction, default=AdaptiveEviction())
+    run_parser.add_argument("--sketch-unbias", action="store_true",
+                            help="enable count-min stream unbiasing (future work)")
+
+    figure_parser = subparsers.add_parser("figure", help="regenerate a paper figure")
+    figure_parser.add_argument(
+        "figure_id",
+        choices=("fig3", "table1", "fig5", "fig6", "fig7", "fig8", "fig9",
+                 "fig10", "fig11", "fig12", "fig13"),
+    )
+    figure_parser.add_argument("--scale", choices=sorted(_SCALES), default="test")
+
+    attack_parser = subparsers.add_parser(
+        "attack", help="run the trusted-node identification attack"
+    )
+    attack_parser.add_argument("--nodes", type=int, default=200)
+    attack_parser.add_argument("--f", type=float, default=0.20)
+    attack_parser.add_argument("--t", type=float, default=0.20)
+    attack_parser.add_argument("--rounds", type=int, default=20)
+    attack_parser.add_argument("--seed", type=int, default=1)
+    attack_parser.add_argument("--view-ratio", type=float, default=0.08)
+    attack_parser.add_argument("--eviction", type=parse_eviction, default=AdaptiveEviction())
+
+    return parser
+
+
+def _command_run(args) -> int:
+    spec = TopologySpec(
+        n_nodes=args.nodes,
+        byzantine_fraction=args.f,
+        trusted_fraction=args.t if args.protocol == "raptee" else 0.0,
+        poisoned_fraction=args.poisoned if args.protocol == "raptee" else 0.0,
+        view_ratio=args.view_ratio,
+    )
+    if args.protocol == "brahms":
+        bundle = build_brahms_simulation(spec, args.seed)
+    else:
+        bundle = build_raptee_simulation(
+            spec, args.seed, eviction=args.eviction,
+            sketch_unbias_enabled=args.sketch_unbias,
+        )
+    metrics = run_bundle(bundle, args.rounds)
+    print(f"protocol:           {args.protocol}")
+    print(f"nodes:              {spec.n_nodes} (byz {spec.n_byzantine}, "
+          f"trusted {spec.n_trusted}, poisoned +{spec.n_poisoned})")
+    print(f"rounds:             {args.rounds}")
+    print(f"byz IDs in views:   {metrics.resilience_percent:.1f}%")
+    print(f"discovery round:    {metrics.discovery_round if metrics.discovery_round > 0 else 'not reached'}")
+    print(f"stability round:    {metrics.stability_round if metrics.stability_round > 0 else 'not reached'}")
+    return 0
+
+
+def _command_figure(args) -> int:
+    scale: Scale = _SCALES[args.scale]
+    builders = {
+        "fig3": lambda: figure3_brahms_baseline(scale),
+        "table1": lambda: table1_sgx_overhead(scale),
+        "fig5": lambda: fixed_eviction_figure(0.0, scale),
+        "fig6": lambda: fixed_eviction_figure(0.4, scale),
+        "fig7": lambda: fixed_eviction_figure(0.6, scale),
+        "fig8": lambda: fixed_eviction_figure(1.0, scale),
+        "fig9": lambda: figure9_adaptive(scale),
+        "fig10": lambda: identification_figure(
+            "Fig. 10 — identification attack, f = 10%", 0.10, scale),
+        "fig11": lambda: identification_figure(
+            "Fig. 11 — identification attack, f = 30%", 0.30, scale),
+        "fig12": lambda: identification_figure(
+            "Fig. 12 — identification attack, adaptive", 0.10, scale,
+            policies=(AdaptiveEviction(),)),
+        "fig13": lambda: figure13_poisoned_injection(scale),
+    }
+    result = builders[args.figure_id]()
+    print(result.render())
+    return 0
+
+
+def _command_attack(args) -> int:
+    spec = TopologySpec(
+        n_nodes=args.nodes,
+        byzantine_fraction=args.f,
+        trusted_fraction=args.t,
+        view_ratio=args.view_ratio,
+    )
+    config = spec.brahms_config()
+    bundle = build_raptee_simulation(
+        spec, args.seed, eviction=args.eviction, probe_pulls=config.beta_count
+    )
+    bundle.run(args.rounds)
+    attack = IdentificationAttack(bundle.coordinator)
+    report = attack.classify(bundle.trusted_ids, since_round=1, until_round=args.rounds)
+    print(f"eviction policy:  {args.eviction.describe()}")
+    print(f"observed nodes:   {len(attack.observed_nodes())}")
+    print(f"labeled trusted:  {len(report.labeled_trusted)}")
+    print(f"precision:        {report.precision:.2f}")
+    print(f"recall:           {report.recall:.2f}")
+    print(f"F1:               {report.f1:.2f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"run": _command_run, "figure": _command_figure, "attack": _command_attack}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI shim
+    sys.exit(main())

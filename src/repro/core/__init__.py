@@ -1,0 +1,32 @@
+"""RAPTEE: the paper's primary contribution.
+
+A RAPTEE deployment = Brahms everywhere + mutual authentication before every
+pull (§IV-A) + half-view swaps between mutually-authenticated trusted nodes
+(§IV-B) + Byzantine eviction of untrusted pull answers at trusted nodes
+(§IV-C), with the group key living inside SGX enclaves
+(:mod:`repro.core.enclave`).
+"""
+
+from repro.core.auth import AuthScheme, KEY_BYTES, NONCE_BYTES
+from repro.core.config import RapteeConfig
+from repro.core.deployment import TrustedInfrastructure
+from repro.core.enclave import RapteeEnclave
+from repro.core.eviction import AdaptiveEviction, EvictionPolicy, FixedEviction
+from repro.core.node import RapteeNode
+from repro.core.trusted_exchange import SwapOffer, apply_swap, build_offer
+
+__all__ = [
+    "AuthScheme",
+    "KEY_BYTES",
+    "NONCE_BYTES",
+    "RapteeConfig",
+    "TrustedInfrastructure",
+    "RapteeEnclave",
+    "AdaptiveEviction",
+    "EvictionPolicy",
+    "FixedEviction",
+    "RapteeNode",
+    "SwapOffer",
+    "apply_swap",
+    "build_offer",
+]

@@ -1,0 +1,42 @@
+"""RAPTEE configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.brahms.config import BrahmsConfig
+from repro.core.eviction import AdaptiveEviction, EvictionPolicy
+
+__all__ = ["RapteeConfig"]
+
+
+@dataclass(frozen=True)
+class RapteeConfig:
+    """Parameters of a RAPTEE deployment.
+
+    Attributes:
+        brahms: the underlying Brahms parameters (all nodes run them).
+        eviction: the trusted nodes' Byzantine-eviction policy (§IV-C).
+        auth_mode: proof scheme for mutual authentication — "hmac" (fast)
+            or "aes-ctr" (the paper's literal construction); see
+            :mod:`repro.core.auth`.
+        trusted_exchange_enabled: ablation switch for the §IV-B half-view
+            swap between trusted nodes.
+        eviction_enabled: ablation switch for §IV-C (False behaves as a
+            permanent 0 % rate).
+        sketch_unbias_enabled: the paper's stated future-work extension
+            (§VIII, after Anceaume et al.): flatten the pulled-ID stream's
+            occurrence bias with a count-min sketch before view renewal.
+            See :mod:`repro.brahms.countmin`.
+    """
+
+    brahms: BrahmsConfig = field(default_factory=BrahmsConfig)
+    eviction: EvictionPolicy = field(default_factory=AdaptiveEviction)
+    auth_mode: str = "hmac"
+    trusted_exchange_enabled: bool = True
+    eviction_enabled: bool = True
+    sketch_unbias_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        if self.auth_mode not in ("hmac", "aes-ctr"):
+            raise ValueError(f"unknown auth_mode {self.auth_mode!r}")

@@ -1,0 +1,64 @@
+"""Trusted-side deployment plumbing: devices, attestation, provisioning.
+
+Bundles everything a RAPTEE operator runs *once* per deployment — the
+attestation authority, the group-key provisioner, and the per-trusted-node
+flow (manufacture device → register with the authority → load enclave →
+attest → provision K_T) — so experiment code can simply ask for "a
+provisioned trusted enclave".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.enclave import RapteeEnclave
+from repro.crypto.prng import Sha256Prng
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import EnclaveHost, SgxDevice
+from repro.sgx.provisioning import GroupKeyProvisioner
+
+__all__ = ["TrustedInfrastructure"]
+
+
+class TrustedInfrastructure:
+    """The deployment-wide trusted computing base.
+
+    One instance per simulated system: it owns the group key K_T, the
+    attestation service (Intel's role), and the provisioner, and
+    manufactures provisioned enclaves for trusted nodes.
+    """
+
+    def __init__(
+        self,
+        rng: Sha256Prng,
+        auth_mode: str = "hmac",
+        provisioning_key_bits: int = 512,
+    ):
+        self._rng = rng
+        self._auth_mode = auth_mode
+        self._provisioning_key_bits = provisioning_key_bits
+        self.attestation = AttestationService()
+        self.group_key = rng.bytes(16)
+        self.provisioner = GroupKeyProvisioner(
+            self.attestation, self.group_key, rng.spawn("provisioner")
+        )
+        self._measurement_trusted = False
+        self.devices: Dict[int, SgxDevice] = {}
+
+    def new_trusted_enclave(self, device_id: int) -> Tuple[EnclaveHost, SgxDevice]:
+        """Manufacture, attest and provision one trusted node's enclave."""
+        device = SgxDevice(device_id, self._rng.spawn("device", device_id))
+        self.attestation.register_device(device_id, device.attestation_public_key)
+        self.devices[device_id] = device
+        host = device.load(
+            RapteeEnclave,
+            auth_mode=self._auth_mode,
+            provisioning_key_bits=self._provisioning_key_bits,
+        )
+        if not self._measurement_trusted:
+            self.attestation.trust_measurement(host.measurement)
+            self._measurement_trusted = True
+        quote, public_key = host.begin_provisioning()
+        ciphertext = self.provisioner.provision(quote, public_key)
+        host.complete_provisioning(ciphertext)
+        return host, device

@@ -1,0 +1,112 @@
+"""The RAPTEE trusted-node enclave.
+
+Holds the shared group key K_T and performs every operation whose secrecy
+the protocol depends on — the auth-proof construction and verification —
+behind the ECALL boundary, so K_T never exists in untrusted memory.
+
+Provisioning follows :mod:`repro.sgx.provisioning`: the enclave generates an
+ephemeral RSA keypair inside, binds the public key into an attestation
+quote, and receives K_T encrypted to that key.  A provisioned enclave can
+seal K_T to disk (device + measurement bound) and restore it after a
+restart without re-attesting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.auth import AuthScheme
+from repro.crypto.prng import Sha256Prng
+from repro.crypto.rsa import RsaKeyPair, RsaPublicKey, generate_keypair
+from repro.sgx.enclave import Enclave, SgxDevice, ecall, report_data_binding
+from repro.sgx.errors import ProvisioningError
+from repro.sgx.measurement import Quote
+from repro.sgx.sealing import seal, unseal
+
+__all__ = ["RapteeEnclave"]
+
+
+class RapteeEnclave(Enclave):
+    """Trusted-node logic living inside the enclave."""
+
+    VERSION = "1"
+
+    def __init__(self, _device: SgxDevice, auth_mode: str = "hmac",
+                 provisioning_key_bits: int = 512):
+        super().__init__(_device)
+        self._scheme = AuthScheme(auth_mode)
+        self._group_key: Optional[bytes] = None
+        self._ephemeral: Optional[RsaKeyPair] = None
+        self._provisioning_key_bits = provisioning_key_bits
+        self._rng = Sha256Prng(int.from_bytes(self._random_bytes(16), "big"))
+
+    # -- provisioning ---------------------------------------------------------
+
+    @ecall
+    def begin_provisioning(self) -> Tuple[Quote, RsaPublicKey]:
+        """Generate the in-enclave RSA key and a quote binding it."""
+        self._ephemeral = generate_keypair(self._provisioning_key_bits, self._rng)
+        binding = report_data_binding(self._ephemeral.public)
+        quote = self.generate_quote(binding)
+        return quote, self._ephemeral.public
+
+    @ecall
+    def complete_provisioning(self, ciphertext: bytes) -> None:
+        """Decrypt and install K_T; forgets the ephemeral key afterwards."""
+        if self._ephemeral is None:
+            raise ProvisioningError("begin_provisioning was not called")
+        group_key = self._ephemeral.private.decrypt(ciphertext)
+        if len(group_key) != 16:
+            raise ProvisioningError("provisioned key has the wrong size")
+        self._group_key = group_key
+        self._ephemeral = None
+
+    @ecall
+    def is_provisioned(self) -> bool:
+        return self._group_key is not None
+
+    # -- sealing --------------------------------------------------------------
+
+    @ecall
+    def seal_group_key(self) -> bytes:
+        """Persist K_T sealed to this device and enclave identity."""
+        if self._group_key is None:
+            raise ProvisioningError("no group key to seal")
+        return seal(self._device, self._measurement, self._group_key,
+                    self._random_bytes(8))
+
+    @ecall
+    def restore_group_key(self, blob: bytes) -> None:
+        """Load a previously sealed K_T (restart path, no re-attestation)."""
+        group_key = unseal(self._device, self._measurement, blob)
+        if len(group_key) != 16:
+            raise ProvisioningError("sealed blob does not contain a group key")
+        self._group_key = group_key
+
+    # -- mutual authentication (the group key never leaves) ---------------------
+
+    def _require_key(self) -> bytes:
+        if self._group_key is None:
+            raise ProvisioningError("enclave is not provisioned")
+        return self._group_key
+
+    @ecall
+    def auth_respond(self, r_a: bytes) -> Tuple[bytes, bytes]:
+        """Step 2 of §IV-A: draw r_B and prove K_T over (r_A, r_B)."""
+        parts = self._scheme.respond(self._require_key(), r_a, self._rng)
+        return parts.r_b, parts.proof
+
+    @ecall
+    def auth_check_response(self, r_a: bytes, r_b: bytes, proof: bytes) -> bool:
+        """Step 3: does the peer's proof match under K_T?"""
+        return self._scheme.check_response(self._require_key(), r_a, r_b, proof)
+
+    @ecall
+    def auth_confirm(self, r_a: bytes, r_b: bytes) -> bytes:
+        """Step 4 (initiator side): prove K_T over (r_B, r_A)."""
+        return self._scheme.confirm(self._require_key(), r_a, r_b)
+
+    @ecall
+    def auth_check_confirm(self, r_a: bytes, r_b: bytes, proof: bytes) -> bool:
+        """Step 4 (responder side): does the initiator hold K_T?"""
+        return self._scheme.check_confirm(self._require_key(), r_a, r_b, proof)

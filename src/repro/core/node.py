@@ -1,0 +1,259 @@
+"""The RAPTEE node (§IV): Brahms + mutual auth + trusted comms + eviction.
+
+Every non-Byzantine node in a RAPTEE deployment runs this class:
+
+* **honest untrusted** nodes (kind ``HONEST``) participate in the mutual
+  authentication that precedes every pull — each with its own random key,
+  so no handshake ever succeeds for them — and otherwise execute Brahms
+  unmodified;
+* **trusted** nodes (kind ``TRUSTED`` or ``POISONED_TRUSTED``) carry a
+  provisioned :class:`~repro.core.enclave.RapteeEnclave`.  When a pull
+  partner proves knowledge of the group key, the pair runs the §IV-B
+  half-view swap, and at round end the node evicts a policy-determined
+  fraction of the IDs pulled from *untrusted* peers (§IV-C).
+
+Crucially, a trusted node's observable behaviour is identical to an honest
+node's: same number of pushes, pulls, and auth messages per round.  Only
+the *content* of its pull answers can differ — the leakage channel §VI-A's
+identification attack exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.brahms.countmin import StreamUnbiaser
+from repro.brahms.node import BrahmsNode, PulledBatch
+from repro.core.auth import AuthScheme, KEY_BYTES
+from repro.core.config import RapteeConfig
+from repro.core.trusted_exchange import apply_swap, build_offer
+from repro.sgx.cycles import CycleAccountant, PeerSamplingFunction
+from repro.sgx.enclave import EnclaveHost
+from repro.sim.engine import RoundContext
+from repro.sim.messages import (
+    AuthChallenge,
+    AuthConfirm,
+    AuthResponse,
+    AuthResult,
+    Message,
+    PullReply,
+    PullRequest,
+    TrustedSwapReply,
+    TrustedSwapRequest,
+)
+from repro.sim.node import NodeKind
+
+__all__ = ["RapteeNode"]
+
+
+class RapteeNode(BrahmsNode):
+    """A node executing the RAPTEE-modified Brahms."""
+
+    def __init__(
+        self,
+        node_id: int,
+        kind: NodeKind,
+        config: RapteeConfig,
+        rng: random.Random,
+        enclave: Optional[EnclaveHost] = None,
+        cycle_accountant: Optional[CycleAccountant] = None,
+    ):
+        super().__init__(node_id, kind, config.brahms, rng, cycle_accountant)
+        self.raptee_config = config
+        self._scheme = AuthScheme(config.auth_mode)
+        self.trusted = kind.runs_trusted_code
+        if self.trusted:
+            if enclave is None:
+                raise ValueError("trusted nodes require a provisioned enclave")
+            if not enclave.is_provisioned():
+                raise ValueError("enclave must be provisioned with the group key")
+            self.enclave = enclave
+            self._own_key = None
+        else:
+            if enclave is not None:
+                raise ValueError("untrusted nodes must not carry an enclave")
+            self.enclave = None
+            self._own_key = rng.getrandbits(KEY_BYTES * 8).to_bytes(KEY_BYTES, "big")
+
+        self._unbiaser = (
+            StreamUnbiaser(rng) if config.sketch_unbias_enabled else None
+        )
+        # Per-round authentication and contact bookkeeping.
+        self._pending_auth: Dict[int, Tuple[bytes, bytes]] = {}
+        self._trusted_sessions: Set[int] = set()
+        self._id_contacts = 0          # sessions in which this node received IDs
+        self._trusted_id_contacts = 0  # ... of which the peer proved trusted
+        self.last_eviction_rate: Optional[float] = None
+        self.evicted_ids_total = 0
+        self.trusted_exchanges_total = 0
+
+    # -- round lifecycle -------------------------------------------------------
+
+    def begin_round(self, ctx: RoundContext) -> None:
+        super().begin_round(ctx)
+        self._pending_auth = {}
+        self._trusted_sessions = set()
+        self._id_contacts = 0
+        self._trusted_id_contacts = 0
+
+    # -- active pull with mutual authentication ----------------------------------
+
+    def _do_pull(self, ctx: RoundContext, target: int) -> Optional[PulledBatch]:
+        self._charge(PeerSamplingFunction.PULL_REQUEST)
+
+        # §IV-A handshake, initiator side.
+        r_a = AuthScheme.make_challenge(self.rng)
+        response = ctx.request(
+            self.node_id, target, AuthChallenge(sender=self.node_id, r_a=r_a)
+        )
+        if not isinstance(response, AuthResponse):
+            return None
+        if self.trusted:
+            peer_trusted = self.enclave.auth_check_response(
+                r_a, response.r_b, response.proof
+            )
+            confirm_proof = self.enclave.auth_confirm(r_a, response.r_b)
+        else:
+            peer_trusted = self._scheme.check_response(
+                self._own_key, r_a, response.r_b, response.proof
+            )
+            confirm_proof = self._scheme.confirm(self._own_key, r_a, response.r_b)
+        ctx.request(
+            self.node_id, target, AuthConfirm(sender=self.node_id, proof=confirm_proof)
+        )
+
+        # Ordinary Brahms pull (all node types issue it identically — a
+        # trusted node that skipped it would be trivially identifiable).
+        reply = ctx.request(self.node_id, target, PullRequest(self.node_id))
+        batch: Optional[PulledBatch] = None
+        if isinstance(reply, PullReply):
+            batch = PulledBatch(
+                source=target,
+                ids=reply.ids,
+                trusted_source=self.trusted and peer_trusted,
+            )
+            self._id_contacts += 1
+            if batch.trusted_source:
+                self._trusted_id_contacts += 1
+
+        # §IV-B trusted communication, initiator side.
+        if (
+            self.trusted
+            and peer_trusted
+            and self.raptee_config.trusted_exchange_enabled
+        ):
+            self._run_trusted_swap(ctx, target)
+
+        return batch
+
+    def _run_trusted_swap(self, ctx: RoundContext, target: int) -> None:
+        self._charge(PeerSamplingFunction.TRUSTED_COMMUNICATIONS)
+        offer = build_offer(self.view, self.node_id, self.rng, include_self=True)
+        swap_reply = ctx.request(
+            self.node_id,
+            target,
+            TrustedSwapRequest(sender=self.node_id, offered=offer.offered),
+        )
+        if not isinstance(swap_reply, TrustedSwapReply):
+            return
+        self.view = apply_swap(self.view, offer, swap_reply.offered, self.node_id)
+        self._pulled.append(
+            PulledBatch(source=target, ids=swap_reply.offered, trusted_source=True)
+        )
+        self.known.update(swap_reply.offered)
+        self.trusted_exchanges_total += 1
+
+    # -- passive side ---------------------------------------------------------------
+
+    def handle_request(self, message: Message) -> Optional[Message]:
+        if isinstance(message, AuthChallenge):
+            if self.trusted:
+                r_b, proof = self.enclave.auth_respond(message.r_a)
+            else:
+                parts = self._scheme.respond(self._own_key, message.r_a, self.rng)
+                r_b, proof = parts.r_b, parts.proof
+            self._pending_auth[message.sender] = (message.r_a, r_b)
+            return AuthResponse(sender=self.node_id, r_b=r_b, proof=proof)
+
+        if isinstance(message, AuthConfirm):
+            pending = self._pending_auth.pop(message.sender, None)
+            mutual = False
+            if pending is not None:
+                r_a, r_b = pending
+                if self.trusted:
+                    mutual = self.enclave.auth_check_confirm(r_a, r_b, message.proof)
+                else:
+                    mutual = self._scheme.check_confirm(
+                        self._own_key, r_a, r_b, message.proof
+                    )
+            if mutual:
+                self._trusted_sessions.add(message.sender)
+            return AuthResult(sender=self.node_id, mutual=mutual)
+
+        if isinstance(message, TrustedSwapRequest):
+            return self._handle_trusted_swap(message)
+
+        return super().handle_request(message)
+
+    def _handle_trusted_swap(
+        self, message: TrustedSwapRequest
+    ) -> Optional[TrustedSwapReply]:
+        """Responder side of §IV-B.
+
+        Only honoured for peers that proved knowledge of K_T *this round*
+        (the ``AuthConfirm`` check) — a Byzantine node that merely observed
+        a swap message cannot replay its way into one.
+        """
+        if (
+            not self.trusted
+            or not self.raptee_config.trusted_exchange_enabled
+            or message.sender not in self._trusted_sessions
+        ):
+            return None
+        self._charge(PeerSamplingFunction.TRUSTED_COMMUNICATIONS)
+        offer = build_offer(self.view, self.node_id, self.rng, include_self=False)
+        self.view = apply_swap(self.view, offer, message.offered, self.node_id)
+        self._pulled.append(
+            PulledBatch(source=message.sender, ids=message.offered, trusted_source=True)
+        )
+        self.known.update(message.offered)
+        self._id_contacts += 1
+        self._trusted_id_contacts += 1
+        self.trusted_exchanges_total += 1
+        return TrustedSwapReply(sender=self.node_id, offered=offer.offered)
+
+    # -- Byzantine eviction (§IV-C) ----------------------------------------------
+
+    def _unbias(self, ids: List[int]) -> List[int]:
+        """Optional count-min-sketch stream flattening (future work, §VIII)."""
+        if self._unbiaser is None or not ids:
+            return ids
+        self._unbiaser.observe(ids)
+        return self._unbiaser.unbias(ids)
+
+    def _effective_pulled_ids(self) -> List[int]:
+        if not self.trusted or not self.raptee_config.eviction_enabled:
+            return self._unbias(super()._effective_pulled_ids())
+
+        trusted_ids: List[int] = []
+        untrusted_ids: List[int] = []
+        for batch in self._pulled:
+            (trusted_ids if batch.trusted_source else untrusted_ids).extend(batch.ids)
+
+        trusted_share = (
+            self._trusted_id_contacts / self._id_contacts if self._id_contacts else 0.0
+        )
+        rate = self.raptee_config.eviction.rate(trusted_share)
+        self.last_eviction_rate = rate
+
+        untrusted_ids = self._unbias(untrusted_ids)
+        keep_count = len(untrusted_ids) - int(round(rate * len(untrusted_ids)))
+        self.evicted_ids_total += len(untrusted_ids) - keep_count
+        if keep_count <= 0:
+            kept: List[int] = []
+        elif keep_count >= len(untrusted_ids):
+            kept = untrusted_ids
+        else:
+            kept = self.rng.sample(untrusted_ids, keep_count)
+        return trusted_ids + kept

@@ -1,0 +1,80 @@
+"""Trusted communication: the half-view swap between trusted nodes (§IV-B).
+
+When two trusted nodes mutually authenticate in a round, they run one
+exchange of the gossip-PSS framework in its RAPTEE instantiation (§II):
+
+* each side offers half of its dynamic view, with the initiator inserting a
+  link to itself;
+* the exchange is a *swap* — a link that was sent is kept only by the
+  partner (S = c/2 shuffling), so the total number of links is preserved and
+  trusted-held knowledge spreads without inflating anyone's in-degree;
+* each side additionally appends the received IDs to its round's pulled-ID
+  list, so they flow into the Brahms samplers and compete for the β·l1
+  slots of the view renewal.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["SwapOffer", "build_offer", "apply_swap"]
+
+
+@dataclass(frozen=True)
+class SwapOffer:
+    """The half-view one side contributes to a trusted exchange."""
+
+    offered: Tuple[int, ...]
+    sent_from_view: Tuple[int, ...]  # the subset actually removed on swap
+
+
+def build_offer(
+    view: List[int],
+    own_id: int,
+    rng: random.Random,
+    include_self: bool,
+) -> SwapOffer:
+    """Select half of ``view`` to offer; initiators insert their own link.
+
+    With self-insertion the offer is (c/2 − 1) view entries plus the node's
+    own ID, mirroring the framework's buffer construction.
+    """
+    half = max(1, len(view) // 2)
+    from_view_count = max(0, half - 1) if include_self else half
+    if from_view_count >= len(view):
+        sent = list(view)
+    else:
+        sent = rng.sample(view, from_view_count) if from_view_count else []
+    offered = list(sent)
+    if include_self:
+        offered.append(own_id)
+    return SwapOffer(offered=tuple(offered), sent_from_view=tuple(sent))
+
+
+def apply_swap(
+    view: List[int],
+    offer: SwapOffer,
+    received: Tuple[int, ...],
+    own_id: int,
+) -> List[int]:
+    """Swap semantics: drop what was sent, keep what was received.
+
+    Each sent occurrence is removed once; received IDs (minus self and
+    duplicates of surviving entries... duplicates are allowed, Brahms views
+    are multisets) are appended.  The view length is preserved up to the
+    difference between sent and received counts.
+    """
+    new_view = list(view)
+    for sent in offer.sent_from_view:
+        try:
+            new_view.remove(sent)
+        except ValueError:
+            # The entry can be gone if it appeared twice in the offer
+            # but once in the view; removing once is the correct multiset op.
+            continue
+    for peer in received:
+        if peer != own_id:
+            new_view.append(peer)
+    return new_view

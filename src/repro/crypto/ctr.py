@@ -1,0 +1,48 @@
+"""AES-CTR stream mode, as used by RAPTEE for symmetric encryption (§V).
+
+CTR turns the AES block cipher into a stream cipher: the keystream is the
+encryption of successive counter blocks (nonce || counter), XORed with the
+message.  Encryption and decryption are the same operation.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import AES128, BLOCK_SIZE
+
+__all__ = ["AesCtr", "NONCE_SIZE"]
+
+NONCE_SIZE = 8
+
+
+class AesCtr:
+    """AES-128 in counter mode with an 8-byte nonce and 8-byte block counter.
+
+    A (key, nonce) pair must never be reused for two different messages; the
+    caller (see :class:`repro.core.auth.MutualAuth` and
+    :class:`repro.sim.network.Network`) derives a fresh nonce per message.
+    """
+
+    def __init__(self, key: bytes, nonce: bytes):
+        if len(nonce) != NONCE_SIZE:
+            raise ValueError(f"nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+        self._cipher = AES128(key)
+        self._nonce = nonce
+
+    def _keystream(self, length: int, initial_counter: int = 0) -> bytes:
+        blocks = []
+        counter = initial_counter
+        produced = 0
+        while produced < length:
+            counter_block = self._nonce + counter.to_bytes(8, "big")
+            blocks.append(self._cipher.encrypt_block(counter_block))
+            produced += BLOCK_SIZE
+            counter += 1
+        return b"".join(blocks)[:length]
+
+    def encrypt(self, plaintext: bytes, initial_counter: int = 0) -> bytes:
+        """Encrypt (or decrypt) ``plaintext`` starting at ``initial_counter``."""
+        keystream = self._keystream(len(plaintext), initial_counter)
+        return bytes(p ^ k for p, k in zip(plaintext, keystream))
+
+    # CTR is an involution: decrypting is encrypting the ciphertext.
+    decrypt = encrypt

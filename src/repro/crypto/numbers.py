@@ -1,0 +1,98 @@
+"""Number-theoretic primitives backing the RSA implementation.
+
+Everything here is deterministic given the supplied random source, which
+keeps key generation reproducible inside the simulator.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+__all__ = [
+    "is_probable_prime",
+    "generate_prime",
+    "modular_inverse",
+    "MILLER_RABIN_ROUNDS",
+]
+
+MILLER_RABIN_ROUNDS = 40
+
+# Small primes used for cheap trial division before Miller-Rabin.
+_SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97]
+
+
+def _miller_rabin_witness(n: int, a: int, d: int, r: int) -> bool:
+    """Return True if ``a`` witnesses that ``n`` is composite."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_probable_prime(n: int, rng: Optional[random.Random] = None, rounds: int = MILLER_RABIN_ROUNDS) -> bool:
+    """Miller-Rabin primality test.
+
+    For n < 3,317,044,064,679,887,385,961,981 the fixed witness set below is
+    deterministic and exact; for larger n we add ``rounds`` random witnesses,
+    giving an error probability below 4^-rounds.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    # Deterministic witnesses (Sorenson & Webster) cover n < 3.317e24.
+    deterministic_witnesses = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41]
+    for a in deterministic_witnesses:
+        if a >= n:
+            continue
+        if _miller_rabin_witness(n, a, d, r):
+            return False
+    if n < 3_317_044_064_679_887_385_961_981:
+        return True
+
+    rng = rng or random.Random(n)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        if _miller_rabin_witness(n, a, d, r):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("refusing to generate primes below 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force top bit and oddness
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def modular_inverse(a: int, m: int) -> int:
+    """Return x with (a * x) % m == 1, raising ValueError if none exists."""
+    # Extended Euclid.
+    old_r, r = a % m, m
+    old_s, s = 1, 0
+    while r:
+        quotient = old_r // r
+        old_r, r = r, old_r - quotient * r
+        old_s, s = s, old_s - quotient * s
+    if old_r != 1:
+        raise ValueError(f"{a} has no inverse modulo {m}")
+    return old_s % m

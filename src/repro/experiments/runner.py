@@ -1,0 +1,76 @@
+"""Experiment execution: run bundles, extract metrics, repeat over seeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.analysis.metrics import (
+    resilience_from_trace,
+    stability_round,
+)
+from repro.analysis.stats import Summary, summarize
+from repro.experiments.scenarios import SimulationBundle
+
+__all__ = ["RunMetrics", "RepeatedMetrics", "run_bundle", "repeat"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Outcome of one simulation run."""
+
+    resilience: float          # mean Byzantine fraction in correct views (tail)
+    discovery_round: int       # -1 if 75 % discovery never reached
+    stability_round: int       # -1 if stability never reached
+    rounds: int
+
+    @property
+    def resilience_percent(self) -> float:
+        return 100.0 * self.resilience
+
+
+@dataclass(frozen=True)
+class RepeatedMetrics:
+    """Aggregates over seed repetitions."""
+
+    resilience: Summary
+    discovery_round: Optional[Summary]
+    stability_round: Optional[Summary]
+    runs: List[RunMetrics]
+
+
+def run_bundle(bundle: SimulationBundle, rounds: int, tail: int = 10) -> RunMetrics:
+    """Run a built simulation and compute the paper's three metrics."""
+    bundle.run(rounds)
+    view_size = bundle.spec.brahms_config().view_size
+    return RunMetrics(
+        resilience=resilience_from_trace(bundle.trace.records, tail=tail),
+        discovery_round=bundle.discovery.all_discovered_round(bundle.simulation),
+        stability_round=stability_round(
+            bundle.trace.records, view_size=view_size, sustained=3
+        ),
+        rounds=rounds,
+    )
+
+
+def repeat(
+    build_and_run: Callable[[int], RunMetrics],
+    seeds: List[int],
+) -> RepeatedMetrics:
+    """Run one experiment under several seeds and aggregate.
+
+    Discovery/stability summaries only include runs that actually reached
+    the milestone (the paper's runs always converge; scaled-down runs that
+    miss a milestone are excluded rather than polluting the mean with -1).
+    """
+    runs = [build_and_run(seed) for seed in seeds]
+    return RepeatedMetrics(
+        resilience=summarize([run.resilience for run in runs]),
+        discovery_round=summarize(
+            [run.discovery_round for run in runs if run.discovery_round > 0]
+        ),
+        stability_round=summarize(
+            [run.stability_round for run in runs if run.stability_round > 0]
+        ),
+        runs=runs,
+    )

@@ -1,0 +1,346 @@
+"""Scenario builders: from a topology spec to a ready-to-run simulation.
+
+A :class:`TopologySpec` captures the paper's experimental knobs — system
+size N, Byzantine fraction f, trusted fraction t, injected poisoned-trusted
+fraction, view-size ratio — and the builders assemble the node population:
+
+* :func:`build_brahms_simulation` — the baseline: f Byzantine identities
+  against pure-Brahms honest nodes (§II, Fig. 3);
+* :func:`build_raptee_simulation` — the full system: honest RAPTEE nodes,
+  provisioned trusted nodes, optional poisoned-trusted injections, and the
+  Byzantine population under one global coordinator (§V-B).
+
+Node counts are rounded half-up from the fractions; every node (including
+Byzantine ones, which ignore it) receives a uniform bootstrap view.
+
+Randomness discipline: protocol-level randomness (target selection, nonces,
+shuffles) uses Mersenne-Twister generators seeded through the SHA-256
+label-derivation of :func:`repro.crypto.prng.derive_seed`, so every node's
+stream is independent and the whole run is reproducible from one integer
+seed.  Key material (group key, device keys) stays on the slower
+:class:`~repro.crypto.prng.Sha256Prng`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.adversary.byzantine import ByzantineNode
+from repro.adversary.coordinator import AdversaryCoordinator
+from repro.adversary.poisoned import build_poisoned_trusted_node
+from repro.brahms.config import BrahmsConfig
+from repro.brahms.node import BrahmsNode
+from repro.core.config import RapteeConfig
+from repro.core.deployment import TrustedInfrastructure
+from repro.core.eviction import EvictionPolicy
+from repro.core.node import RapteeNode
+from repro.crypto.prng import Sha256Prng, derive_seed
+from repro.sgx.cycles import CycleAccountant, CycleModel
+from repro.sim.bootstrap import UniformBootstrap
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.sim.node import NodeKind
+from repro.sim.observers import DiscoveryObserver, ViewTraceObserver
+
+__all__ = [
+    "TopologySpec",
+    "SimulationBundle",
+    "build_brahms_simulation",
+    "build_raptee_simulation",
+]
+
+#: Byzantine identities may spend more pushes than honest ones before the
+#: rate limiter stops them (the paper's limit mechanism prices pushes but
+#: does not pin them to the protocol's α·l1; the blocking defense is what
+#: actually caps useful flooding).  This multiple of α·l1 is the cap,
+#: calibrated so the Brahms baseline reproduces Fig. 3's collapse shape
+#: (matching the 81 % pollution the paper reports at f = 18 %).
+BYZANTINE_PUSH_LIMIT_MULTIPLIER = 3
+
+
+def _mt(seed: int, *labels: object) -> random.Random:
+    """A fast, independent, reproducible Mersenne-Twister stream."""
+    return random.Random(derive_seed(seed, *labels))
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Population shape of one experiment.
+
+    The paper's scale is N = 10,000 with view size 200 (ratio 0.02); the
+    default ratio here is higher so that scaled-down populations keep
+    statistically meaningful views (see DESIGN.md §5).
+    """
+
+    n_nodes: int = 300
+    byzantine_fraction: float = 0.10
+    trusted_fraction: float = 0.0
+    poisoned_fraction: float = 0.0
+    view_ratio: float = 0.06
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 10:
+            raise ValueError("n_nodes must be at least 10")
+        for name in ("byzantine_fraction", "trusted_fraction", "poisoned_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise ValueError(f"{name} must be in [0, 1)")
+        if self.byzantine_fraction + self.trusted_fraction >= 1.0:
+            raise ValueError("Byzantine + trusted fractions must leave honest nodes")
+
+    @property
+    def n_byzantine(self) -> int:
+        return int(round(self.n_nodes * self.byzantine_fraction))
+
+    @property
+    def n_trusted(self) -> int:
+        return int(round(self.n_nodes * self.trusted_fraction))
+
+    @property
+    def n_poisoned(self) -> int:
+        """Poisoned injections are *additional* nodes (§VI-B adds them)."""
+        return int(round(self.n_nodes * self.poisoned_fraction))
+
+    @property
+    def n_honest(self) -> int:
+        return self.n_nodes - self.n_byzantine - self.n_trusted
+
+    def brahms_config(self) -> BrahmsConfig:
+        return BrahmsConfig().scaled(self.n_nodes, self.view_ratio)
+
+
+@dataclass
+class SimulationBundle:
+    """Everything a runner needs to execute and measure one simulation."""
+
+    simulation: Simulation
+    trace: ViewTraceObserver
+    discovery: DiscoveryObserver
+    spec: TopologySpec
+    coordinator: Optional[AdversaryCoordinator] = None
+    infrastructure: Optional[TrustedInfrastructure] = None
+    trusted_ids: frozenset = frozenset()
+    cycle_accountants: Dict[int, CycleAccountant] = field(default_factory=dict)
+
+    def run(self, rounds: int) -> None:
+        self.simulation.run(rounds, observers=[self.trace, self.discovery])
+
+
+def _seed_all_views(nodes: Sequence, membership: List[int], view_size: int,
+                    rng: random.Random, skip_kinds: Sequence[NodeKind] = ()) -> None:
+    bootstrap = UniformBootstrap(membership, rng)
+    for node in nodes:
+        if node.kind in skip_kinds:
+            continue
+        node.seed_view(bootstrap.initial_view(node.node_id, view_size))
+
+
+def _install_pollution_probe(
+    coordinator: AdversaryCoordinator, simulation: Simulation
+) -> None:
+    """Give the adversary its v-estimate (see AdversaryCoordinator docs)."""
+    byzantine = frozenset(coordinator.byzantine_ids)
+
+    def probe() -> float:
+        total = 0.0
+        counted = 0
+        for node in simulation.correct_nodes():
+            view = node.view_ids()
+            if view:
+                total += sum(1 for peer in view if peer in byzantine) / len(view)
+                counted += 1
+        return total / counted if counted else 0.0
+
+    coordinator.set_pollution_probe(probe)
+
+
+def build_brahms_simulation(
+    spec: TopologySpec,
+    seed: int,
+    adversary_strategy: str = "adaptive_balanced",
+    config_override: Optional[BrahmsConfig] = None,
+) -> SimulationBundle:
+    """The Brahms baseline: honest Brahms nodes vs the balanced adversary.
+
+    ``config_override`` replaces the spec-derived Brahms parameters — the
+    ablation benches use it to sweep γ or disable blocking.
+    """
+    config = config_override or spec.brahms_config()
+    network = Network(_mt(seed, "network"), loss_rate=spec.loss_rate)
+
+    byzantine_ids = list(range(spec.n_byzantine))
+    correct_ids = list(range(spec.n_byzantine, spec.n_nodes))
+    coordinator = AdversaryCoordinator(
+        byzantine_ids=byzantine_ids,
+        correct_ids=correct_ids,
+        push_limit=config.effective_push_limit * BYZANTINE_PUSH_LIMIT_MULTIPLIER,
+        rng=_mt(seed, "adversary"),
+        strategy=adversary_strategy,
+        expected_pushes=config.alpha_count,
+    )
+
+    nodes: List = [
+        ByzantineNode(
+            node_id,
+            coordinator,
+            view_size=config.view_size,
+            rng=_mt(seed, "byz", node_id),
+        )
+        for node_id in byzantine_ids
+    ]
+    nodes.extend(
+        BrahmsNode(node_id, NodeKind.HONEST, config, _mt(seed, "node", node_id))
+        for node_id in correct_ids
+    )
+
+    _seed_all_views(nodes, list(range(spec.n_nodes)), config.view_size,
+                    _mt(seed, "bootstrap"))
+    simulation = Simulation(network, nodes, _mt(seed, "engine"))
+    _install_pollution_probe(coordinator, simulation)
+    return SimulationBundle(
+        simulation=simulation,
+        trace=ViewTraceObserver(),
+        discovery=DiscoveryObserver(),
+        spec=spec,
+        coordinator=coordinator,
+    )
+
+
+def build_raptee_simulation(
+    spec: TopologySpec,
+    seed: int,
+    eviction: EvictionPolicy,
+    auth_mode: str = "hmac",
+    probe_pulls: int = 0,
+    trusted_exchange_enabled: bool = True,
+    eviction_enabled: bool = True,
+    sketch_unbias_enabled: bool = False,
+    provisioning_key_bits: int = 384,
+    with_cycle_accounting: bool = False,
+    cycle_mode: str = "sgx",
+    adversary_strategy: str = "adaptive_balanced",
+    config_override: Optional[BrahmsConfig] = None,
+) -> SimulationBundle:
+    """The full RAPTEE deployment of §V-B (plus §VI-B injections).
+
+    ``probe_pulls`` > 0 makes Byzantine nodes issue that many pull probes
+    per round, feeding the identification attack's intelligence.
+    """
+    brahms_config = config_override or spec.brahms_config()
+    raptee_config = RapteeConfig(
+        brahms=brahms_config,
+        eviction=eviction,
+        auth_mode=auth_mode,
+        trusted_exchange_enabled=trusted_exchange_enabled,
+        eviction_enabled=eviction_enabled,
+        sketch_unbias_enabled=sketch_unbias_enabled,
+    )
+    network = Network(_mt(seed, "network"), loss_rate=spec.loss_rate)
+    infrastructure = TrustedInfrastructure(
+        Sha256Prng(derive_seed(seed, "tcb")),
+        auth_mode=auth_mode,
+        provisioning_key_bits=provisioning_key_bits,
+    )
+    cycle_model = CycleModel() if with_cycle_accounting else None
+
+    byzantine_ids = list(range(spec.n_byzantine))
+    trusted_ids = list(range(spec.n_byzantine, spec.n_byzantine + spec.n_trusted))
+    honest_ids = list(range(spec.n_byzantine + spec.n_trusted, spec.n_nodes))
+    poisoned_ids = list(range(spec.n_nodes, spec.n_nodes + spec.n_poisoned))
+    correct_ids = trusted_ids + honest_ids + poisoned_ids
+
+    coordinator = AdversaryCoordinator(
+        byzantine_ids=byzantine_ids,
+        correct_ids=correct_ids,
+        push_limit=brahms_config.effective_push_limit * BYZANTINE_PUSH_LIMIT_MULTIPLIER,
+        rng=_mt(seed, "adversary"),
+        strategy=adversary_strategy,
+        expected_pushes=brahms_config.alpha_count,
+    )
+
+    cycle_accountants: Dict[int, CycleAccountant] = {}
+
+    if cycle_mode not in ("sgx", "standard"):
+        raise ValueError(f"cycle_mode must be 'sgx' or 'standard', got {cycle_mode!r}")
+
+    def _accountant(node_id: int) -> Optional[CycleAccountant]:
+        if cycle_model is None:
+            return None
+        accountant = CycleAccountant(
+            cycle_model,
+            _mt(seed, "cycles", node_id),
+            force_standard=(cycle_mode == "standard"),
+        )
+        cycle_accountants[node_id] = accountant
+        return accountant
+
+    nodes: List = [
+        ByzantineNode(
+            node_id,
+            coordinator,
+            view_size=brahms_config.view_size,
+            rng=_mt(seed, "byz", node_id),
+            probe_pulls=probe_pulls,
+            auth_mode=auth_mode,
+        )
+        for node_id in byzantine_ids
+    ]
+    for node_id in trusted_ids:
+        enclave, _device = infrastructure.new_trusted_enclave(node_id)
+        nodes.append(
+            RapteeNode(
+                node_id,
+                NodeKind.TRUSTED,
+                raptee_config,
+                _mt(seed, "node", node_id),
+                enclave=enclave,
+                cycle_accountant=_accountant(node_id),
+            )
+        )
+    nodes.extend(
+        RapteeNode(
+            node_id,
+            NodeKind.HONEST,
+            raptee_config,
+            _mt(seed, "node", node_id),
+            cycle_accountant=_accountant(node_id),
+        )
+        for node_id in honest_ids
+    )
+    for node_id in poisoned_ids:
+        nodes.append(
+            build_poisoned_trusted_node(
+                node_id,
+                raptee_config,
+                infrastructure,
+                byzantine_ids,
+                _mt(seed, "poisoned", node_id),
+                join_ids=trusted_ids + honest_ids,
+            )
+        )
+
+    # Poisoned nodes keep their adversarial bootstrap; everyone else gets a
+    # uniform sample over the *base* membership (injected nodes join later,
+    # so they are not part of anyone's initial sample).
+    _seed_all_views(
+        nodes,
+        list(range(spec.n_nodes)),
+        brahms_config.view_size,
+        _mt(seed, "bootstrap"),
+        skip_kinds=(NodeKind.POISONED_TRUSTED,),
+    )
+    simulation = Simulation(network, nodes, _mt(seed, "engine"))
+    _install_pollution_probe(coordinator, simulation)
+    return SimulationBundle(
+        simulation=simulation,
+        trace=ViewTraceObserver(),
+        discovery=DiscoveryObserver(),
+        spec=spec,
+        coordinator=coordinator,
+        infrastructure=infrastructure,
+        trusted_ids=frozenset(trusted_ids) | frozenset(poisoned_ids),
+        cycle_accountants=cycle_accountants,
+    )

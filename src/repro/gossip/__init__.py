@@ -1,0 +1,30 @@
+"""Gossip-based peer-sampling framework (Jelasity et al., TOCS 2007).
+
+The generic H/S framework plus its classic instantiations (Cyclon,
+Newscast).  RAPTEE's trusted communication uses the framework's
+recommended instantiation (see
+:meth:`repro.gossip.framework.GossipPssConfig.raptee_instantiation`).
+"""
+
+from repro.gossip.cyclon import CyclonNode
+from repro.gossip.framework import (
+    GossipPssConfig,
+    GossipPssNode,
+    ViewExchangeReply,
+    ViewExchangeRequest,
+)
+from repro.gossip.newscast import NewscastNode
+from repro.gossip.partial_view import PartialView, ViewEntry
+from repro.gossip.secure_ps import SecurePsNode
+
+__all__ = [
+    "SecurePsNode",
+    "CyclonNode",
+    "GossipPssConfig",
+    "GossipPssNode",
+    "ViewExchangeReply",
+    "ViewExchangeRequest",
+    "NewscastNode",
+    "PartialView",
+    "ViewEntry",
+]

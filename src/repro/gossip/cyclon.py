@@ -1,0 +1,25 @@
+"""Cyclon (Voulgaris et al. 2005) as a framework instantiation.
+
+Cyclon's shuffle is the (tail, push-pull, H=0, S=c/2) point of the Jelasity
+design space: the initiator contacts its oldest neighbour, they exchange
+c/2 descriptors, and each keeps the other's links in place of its own —
+which preserves the total number of links in the overlay and therefore
+yields the balanced in-degree Cyclon is known for.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.gossip.framework import GossipPssConfig, GossipPssNode
+from repro.sim.node import NodeKind
+
+__all__ = ["CyclonNode"]
+
+
+class CyclonNode(GossipPssNode):
+    """A node running Cyclon."""
+
+    def __init__(self, node_id: int, view_size: int, rng: random.Random,
+                 kind: NodeKind = NodeKind.HONEST):
+        super().__init__(node_id, GossipPssConfig.cyclon(view_size), rng, kind)

@@ -1,0 +1,184 @@
+"""The generic gossip-based peer-sampling framework (Jelasity et al. 2007).
+
+One protocol = one point in the design space:
+
+* ``peer_selection`` — "rand" (uniform from view) or "tail" (oldest entry);
+* ``push_pull`` — whether the exchange is bidirectional (the paper's
+  recommended mode and the only one RAPTEE's instantiation uses);
+* ``healer`` H — how many of the oldest entries to prefer replacing;
+* ``swapper`` S — how many of the sent entries to drop in favour of the
+  received ones (shuffle semantics: a sent link is kept only by the
+  partner).
+
+The RAPTEE paper instantiates the framework with the Jelasity et al.
+recommendations (§II): tail (oldest) peer selection, push-pull exchange of
+half the view with self-insertion, and swap-favouring merge — exposed here
+as :meth:`GossipPssConfig.raptee_instantiation`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.gossip.partial_view import PartialView, ViewEntry
+from repro.sim.engine import RoundContext
+from repro.sim.messages import Message
+from repro.sim.node import NodeBase, NodeKind
+
+__all__ = ["GossipPssConfig", "ViewExchangeRequest", "ViewExchangeReply", "GossipPssNode"]
+
+
+@dataclass(frozen=True)
+class ViewExchangeRequest(Message):
+    """Active-thread buffer: descriptors offered by the initiator."""
+
+    entries: tuple = ()
+
+
+@dataclass(frozen=True)
+class ViewExchangeReply(Message):
+    """Passive-thread buffer returned in push-pull mode."""
+
+    entries: tuple = ()
+
+
+@dataclass(frozen=True)
+class GossipPssConfig:
+    """One instantiation of the framework design space."""
+
+    view_size: int = 20
+    healer: int = 0
+    swapper: int = 10
+    peer_selection: str = "tail"  # "tail" or "rand"
+    push_pull: bool = True
+
+    def __post_init__(self) -> None:
+        if self.view_size <= 0:
+            raise ValueError("view_size must be positive")
+        if self.healer < 0 or self.swapper < 0:
+            raise ValueError("healer and swapper must be non-negative")
+        if self.healer + self.swapper > self.view_size:
+            raise ValueError("H + S must not exceed the view size")
+        if self.peer_selection not in ("tail", "rand"):
+            raise ValueError("peer_selection must be 'tail' or 'rand'")
+
+    @property
+    def exchange_size(self) -> int:
+        """Descriptors sent per exchange: c/2 (including the self entry)."""
+        return max(1, self.view_size // 2)
+
+    @classmethod
+    def raptee_instantiation(cls, view_size: int) -> "GossipPssConfig":
+        """The §II criteria: oldest-peer probing, half-view exchange with
+        self-insertion, shuffling (swap) of all exchanged links."""
+        half = max(1, view_size // 2)
+        return cls(
+            view_size=view_size,
+            healer=0,
+            swapper=half,
+            peer_selection="tail",
+            push_pull=True,
+        )
+
+    @classmethod
+    def cyclon(cls, view_size: int) -> "GossipPssConfig":
+        """Cyclon ≈ (tail, push-pull, H=0, S=c/2): pure shuffling."""
+        return cls(view_size=view_size, healer=0, swapper=max(1, view_size // 2),
+                   peer_selection="tail", push_pull=True)
+
+    @classmethod
+    def newscast(cls, view_size: int) -> "GossipPssConfig":
+        """Newscast ≈ (rand, push-pull, H=c, S=0): aggressive healing."""
+        return cls(view_size=view_size, healer=view_size, swapper=0,
+                   peer_selection="rand", push_pull=True)
+
+
+class GossipPssNode(NodeBase):
+    """A node running one framework instantiation."""
+
+    def __init__(
+        self,
+        node_id: int,
+        config: GossipPssConfig,
+        rng: random.Random,
+        kind: NodeKind = NodeKind.HONEST,
+    ):
+        super().__init__(node_id, kind)
+        self.config = config
+        self.rng = rng
+        self.view = PartialView(config.view_size)
+        self.known = {node_id}
+
+    # -- NodeBase introspection -------------------------------------------
+
+    def view_ids(self) -> List[int]:
+        return self.view.ids()
+
+    def known_ids(self) -> List[int]:
+        return list(self.known)
+
+    def seed_view(self, ids: List[int]) -> None:
+        for peer in ids:
+            if peer != self.node_id:
+                self.view.add(ViewEntry(peer, 0))
+        self.known.update(self.view.ids())
+
+    # -- framework active thread ----------------------------------------------
+
+    def _select_peer(self) -> Optional[int]:
+        if self.config.peer_selection == "tail":
+            return self.view.oldest_peer()
+        return self.view.random_peer(self.rng)
+
+    def _build_buffer(self) -> List[ViewEntry]:
+        """Permute, hide the H oldest at the tail, take c/2−1 plus self."""
+        self.view.permute(self.rng)
+        self.view.move_oldest_to_end(self.config.healer)
+        buffer = [ViewEntry(self.node_id, 0)]
+        buffer.extend(self.view.head(self.config.exchange_size - 1))
+        return buffer
+
+    def gossip(self, ctx: RoundContext) -> None:
+        peer = self._select_peer()
+        if peer is None:
+            return
+        buffer = self._build_buffer()
+        reply = ctx.request(
+            self.node_id,
+            peer,
+            ViewExchangeRequest(sender=self.node_id, entries=tuple(buffer)),
+        )
+        if isinstance(reply, ViewExchangeReply):
+            received = [entry for entry in reply.entries if entry.node_id != self.node_id]
+            self.known.update(entry.node_id for entry in received)
+            self.view.select(
+                received,
+                healer=self.config.healer,
+                swapper=self.config.swapper,
+                sent_count=len(buffer) - 1,  # self entry is not in our view
+                rng=self.rng,
+            )
+        self.view.increase_ages()
+
+    # -- framework passive thread -----------------------------------------------
+
+    def handle_request(self, message: Message) -> Optional[Message]:
+        if not isinstance(message, ViewExchangeRequest):
+            return None
+        reply_entries: tuple = ()
+        if self.config.push_pull:
+            reply_entries = tuple(self._build_buffer())
+        received = [
+            entry for entry in message.entries if entry.node_id != self.node_id
+        ]
+        self.known.update(entry.node_id for entry in received)
+        self.view.select(
+            received,
+            healer=self.config.healer,
+            swapper=self.config.swapper,
+            sent_count=len(reply_entries) - 1 if reply_entries else 0,
+            rng=self.rng,
+        )
+        return ViewExchangeReply(sender=self.node_id, entries=reply_entries)

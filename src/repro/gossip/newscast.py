@@ -1,0 +1,24 @@
+"""Newscast (Tölgyesi & Jelasity 2009) as a framework instantiation.
+
+Newscast is the (rand, push-pull, H=c, S=0) point: partners merge their
+full views and keep the c freshest descriptors.  Healing dominates, which
+makes Newscast extremely fast at flushing departed nodes at the price of a
+less balanced in-degree distribution.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.gossip.framework import GossipPssConfig, GossipPssNode
+from repro.sim.node import NodeKind
+
+__all__ = ["NewscastNode"]
+
+
+class NewscastNode(GossipPssNode):
+    """A node running Newscast."""
+
+    def __init__(self, node_id: int, view_size: int, rng: random.Random,
+                 kind: NodeKind = NodeKind.HONEST):
+        super().__init__(node_id, GossipPssConfig.newscast(view_size), rng, kind)

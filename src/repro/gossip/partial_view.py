@@ -1,0 +1,141 @@
+"""Aged partial view: the data structure of the gossip PSS framework.
+
+Each entry is a (node ID, age) pair; age counts gossip cycles since the
+entry's descriptor was created by the node it points to.  All framework
+policies — oldest-peer selection, healing (drop oldest), swapping (drop
+what was sent) — are expressed over this structure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+__all__ = ["ViewEntry", "PartialView"]
+
+
+@dataclass(frozen=True)
+class ViewEntry:
+    """A link to ``node_id`` created ``age`` cycles ago."""
+
+    node_id: int
+    age: int
+
+    def aged(self) -> "ViewEntry":
+        return ViewEntry(self.node_id, self.age + 1)
+
+
+class PartialView:
+    """An ordered collection of unique-by-ID aged entries."""
+
+    def __init__(self, capacity: int, entries: Optional[Iterable[ViewEntry]] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: List[ViewEntry] = []
+        if entries:
+            for entry in entries:
+                self.add(entry)
+
+    # -- basics ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node_id: int) -> bool:
+        return any(entry.node_id == node_id for entry in self._entries)
+
+    def entries(self) -> List[ViewEntry]:
+        return list(self._entries)
+
+    def ids(self) -> List[int]:
+        return [entry.node_id for entry in self._entries]
+
+    def add(self, entry: ViewEntry) -> None:
+        """Insert, keeping the youngest descriptor on ID collision."""
+        for index, existing in enumerate(self._entries):
+            if existing.node_id == entry.node_id:
+                if entry.age < existing.age:
+                    self._entries[index] = entry
+                return
+        self._entries.append(entry)
+
+    def remove_id(self, node_id: int) -> bool:
+        for index, entry in enumerate(self._entries):
+            if entry.node_id == node_id:
+                del self._entries[index]
+                return True
+        return False
+
+    # -- framework operations (Jelasity et al., TOCS 2007) -------------------
+
+    def increase_ages(self) -> None:
+        self._entries = [entry.aged() for entry in self._entries]
+
+    def oldest_peer(self) -> Optional[int]:
+        """Tail peer selection: the entry with maximal age."""
+        if not self._entries:
+            return None
+        return max(self._entries, key=lambda entry: entry.age).node_id
+
+    def random_peer(self, rng: random.Random) -> Optional[int]:
+        if not self._entries:
+            return None
+        return rng.choice(self._entries).node_id
+
+    def permute(self, rng: random.Random) -> None:
+        rng.shuffle(self._entries)
+
+    def move_oldest_to_end(self, count: int) -> None:
+        """Move the ``count`` oldest entries to the end of the list (the
+        framework's trick so that to-be-healed entries are never sent)."""
+        if count <= 0 or not self._entries:
+            return
+        by_age = sorted(self._entries, key=lambda entry: entry.age, reverse=True)
+        oldest = set(id(entry) for entry in by_age[:count])
+        kept = [entry for entry in self._entries if id(entry) not in oldest]
+        moved = [entry for entry in self._entries if id(entry) in oldest]
+        self._entries = kept + moved
+
+    def head(self, count: int) -> List[ViewEntry]:
+        return self._entries[:count]
+
+    def select(
+        self,
+        buffer: List[ViewEntry],
+        healer: int,
+        swapper: int,
+        sent_count: int,
+        rng: random.Random,
+    ) -> None:
+        """The framework's ``view.select(c, H, S, buffer)`` method.
+
+        Append the received buffer, deduplicate (youngest wins), then shrink
+        back to capacity by removing, in order: up to ``healer`` oldest
+        entries, up to ``swapper`` head entries (which are exactly the ones
+        just sent, thanks to the permute/move/append discipline), and finally
+        random entries.
+        """
+        merged = PartialView(self.capacity * 4)
+        for entry in self._entries + buffer:
+            merged.add(entry)
+        entries = merged.entries()
+
+        def surplus() -> int:
+            return max(0, len(entries) - self.capacity)
+
+        # Heal: drop the oldest.
+        for _ in range(min(healer, surplus())):
+            oldest = max(entries, key=lambda entry: entry.age)
+            entries.remove(oldest)
+
+        # Swap: drop from the head (what we sent this cycle).
+        drop_head = min(swapper, sent_count, surplus())
+        entries = entries[drop_head:]
+
+        # Random removals down to capacity.
+        while len(entries) > self.capacity:
+            entries.pop(rng.randrange(len(entries)))
+
+        self._entries = entries

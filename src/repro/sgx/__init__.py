@@ -1,0 +1,62 @@
+"""SGX emulation substrate.
+
+Models the four SGX properties RAPTEE relies on (§III-B):
+
+* **integrity** — enclave code is reachable only through declared ECALLs
+  (:mod:`repro.sgx.enclave`);
+* **remote attestation** — quotes signed by certified devices, verified
+  against trusted measurements (:mod:`repro.sgx.attestation`);
+* **confidential provisioning** — the trusted group key is released only to
+  attested enclaves, encrypted to an enclave-resident RSA key
+  (:mod:`repro.sgx.provisioning`);
+* **sealing** — persistent secrets bound to device + code identity
+  (:mod:`repro.sgx.sealing`).
+
+Plus the Table-I-calibrated CPU-cycle cost model used to emulate SGX latency
+at scale, exactly as in the paper's Grid'5000 experiments
+(:mod:`repro.sgx.cycles`).
+"""
+
+from repro.sgx.attestation import AttestationService
+from repro.sgx.cycles import (
+    CycleAccountant,
+    CycleModel,
+    FunctionCost,
+    PeerSamplingFunction,
+    TABLE_I,
+)
+from repro.sgx.enclave import Enclave, EnclaveHost, SgxDevice, ecall
+from repro.sgx.errors import (
+    AttestationError,
+    EnclaveViolation,
+    ProvisioningError,
+    SealingError,
+    SgxError,
+)
+from repro.sgx.measurement import Measurement, Quote, measure_class
+from repro.sgx.provisioning import GroupKeyProvisioner
+from repro.sgx.sealing import seal, unseal
+
+__all__ = [
+    "AttestationService",
+    "CycleAccountant",
+    "CycleModel",
+    "FunctionCost",
+    "PeerSamplingFunction",
+    "TABLE_I",
+    "Enclave",
+    "EnclaveHost",
+    "SgxDevice",
+    "ecall",
+    "AttestationError",
+    "EnclaveViolation",
+    "ProvisioningError",
+    "SealingError",
+    "SgxError",
+    "Measurement",
+    "Quote",
+    "measure_class",
+    "GroupKeyProvisioner",
+    "seal",
+    "unseal",
+]

@@ -1,0 +1,67 @@
+"""Remote attestation service (Intel Attestation Service analogue).
+
+The paper's trust model (§III-B): *"We trust Intel for the certification of
+genuine SGX-enabled CPUs, and we assume that the code running inside enclaves
+is properly attested before being provided with secrets."*  This module is
+that certification authority: it keeps the registry of genuine devices and
+the set of trusted enclave measurements, and verifies quotes against both.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.crypto.rsa import RsaPublicKey
+from repro.sgx.errors import AttestationError
+from repro.sgx.measurement import Measurement, Quote
+
+__all__ = ["AttestationService"]
+
+
+class AttestationService:
+    """Verifies attestation quotes from registered devices.
+
+    A quote passes iff (1) the device is registered and not revoked,
+    (2) the device signature over (measurement, report_data, device_id)
+    verifies, and (3) the measurement is in the trusted set.
+    """
+
+    def __init__(self) -> None:
+        self._device_keys: Dict[int, RsaPublicKey] = {}
+        self._revoked_devices: Set[int] = set()
+        self._trusted_measurements: Set[bytes] = set()
+
+    # -- registry management ------------------------------------------------
+
+    def register_device(self, device_id: int, public_key: RsaPublicKey) -> None:
+        """Certify a genuine SGX device (manufacturing-time key escrow)."""
+        if device_id in self._device_keys:
+            raise AttestationError(f"device {device_id} already registered")
+        self._device_keys[device_id] = public_key
+
+    def revoke_device(self, device_id: int) -> None:
+        """Revoke a device (e.g. a compromised or recalled CPU)."""
+        self._revoked_devices.add(device_id)
+
+    def trust_measurement(self, measurement: Measurement) -> None:
+        """Whitelist an enclave build as attestation-worthy."""
+        self._trusted_measurements.add(measurement.digest)
+
+    def is_trusted_measurement(self, measurement: Measurement) -> bool:
+        return measurement.digest in self._trusted_measurements
+
+    # -- verification ---------------------------------------------------------
+
+    def verify_quote(self, quote: Quote) -> None:
+        """Verify ``quote``; raises :class:`AttestationError` on any failure."""
+        if quote.device_id in self._revoked_devices:
+            raise AttestationError(f"device {quote.device_id} is revoked")
+        device_key = self._device_keys.get(quote.device_id)
+        if device_key is None:
+            raise AttestationError(f"unknown device {quote.device_id}")
+        if not device_key.verify(quote.signed_payload(), quote.signature):
+            raise AttestationError("quote signature verification failed")
+        if quote.measurement.digest not in self._trusted_measurements:
+            raise AttestationError(
+                f"measurement {quote.measurement.hex()[:16]}… is not trusted"
+            )

@@ -1,0 +1,176 @@
+"""Enclave abstraction with an explicit ECALL boundary.
+
+The emulation enforces the one SGX property RAPTEE's design rests on:
+*untrusted code can only enter the enclave through declared entry points*
+(ECALLs), and enclave state is unreachable otherwise.  An
+:class:`EnclaveHost` is the only handle untrusted code ever gets; attribute
+access on it is restricted to methods decorated with :func:`ecall`.
+
+An enclave is loaded on an :class:`SgxDevice`, which models a genuine
+SGX-capable CPU: it owns a device attestation key (certified by the
+:class:`~repro.sgx.attestation.AttestationService`, our stand-in for the
+Intel attestation infrastructure) and a root sealing secret.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Optional, TypeVar
+
+from repro.crypto.hashing import hkdf, sha256
+from repro.crypto.rsa import RsaKeyPair, generate_keypair
+from repro.sgx.errors import EnclaveViolation
+from repro.sgx.measurement import Measurement, Quote, measure_class
+
+__all__ = ["ecall", "Enclave", "EnclaveHost", "SgxDevice"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_DEVICE_KEY_BITS = 512  # simulation-grade; see repro.crypto.rsa docstring
+
+
+def ecall(method: F) -> F:
+    """Mark a method as an enclave entry point callable from the host."""
+    method.__is_ecall__ = True
+    return method
+
+
+class SgxDevice:
+    """A simulated SGX-capable CPU.
+
+    Owns the device attestation keypair (the EPID/DCAP analogue) and the
+    root sealing secret burned into the CPU.  ``device_rng`` seeds all
+    randomness the device and its enclaves consume, keeping simulations
+    deterministic.
+    """
+
+    def __init__(self, device_id: int, device_rng: random.Random):
+        self.device_id = device_id
+        self._rng = device_rng
+        self._attestation_keys: RsaKeyPair = generate_keypair(_DEVICE_KEY_BITS, device_rng)
+        self._root_sealing_secret = device_rng.getrandbits(256).to_bytes(32, "big")
+
+    @property
+    def attestation_public_key(self):
+        return self._attestation_keys.public
+
+    def load(self, enclave_class: type, *args: Any, **kwargs: Any) -> "EnclaveHost":
+        """Instantiate ``enclave_class`` inside this device and return its host."""
+        if not issubclass(enclave_class, Enclave):
+            raise TypeError(f"{enclave_class!r} is not an Enclave subclass")
+        enclave = enclave_class(_device=self, *args, **kwargs)
+        return EnclaveHost(enclave)
+
+    # -- services available to enclaves only -------------------------------
+
+    def _sign_report(self, payload: bytes) -> bytes:
+        return self._attestation_keys.private.sign(payload)
+
+    def _sealing_key(self, measurement: Measurement) -> bytes:
+        """MRENCLAVE-policy sealing key: bound to device and code identity."""
+        return hkdf(self._root_sealing_secret, b"seal" + measurement.digest, length=16)
+
+    def _draw_randomness(self, n_bytes: int) -> bytes:
+        return self._rng.getrandbits(n_bytes * 8).to_bytes(n_bytes, "big")
+
+
+class Enclave:
+    """Base class for enclave code.
+
+    Subclasses implement trusted logic as ``@ecall`` methods.  Everything
+    else — attributes, helpers — stays behind the boundary.  Construction
+    happens through :meth:`SgxDevice.load`, never directly from protocol
+    code (tests may construct directly to reach internals).
+    """
+
+    VERSION = "1"
+
+    def __init__(self, _device: SgxDevice):
+        self._device = _device
+        self._measurement = measure_class(type(self), self.VERSION)
+
+    @property
+    def measurement(self) -> Measurement:
+        return self._measurement
+
+    def _random_bytes(self, n: int) -> bytes:
+        """Trusted randomness (RDRAND analogue, device-seeded)."""
+        return self._device._draw_randomness(n)
+
+    @ecall
+    def get_measurement(self) -> Measurement:
+        """Report this enclave's code measurement."""
+        return self._measurement
+
+    @ecall
+    def generate_quote(self, report_data: bytes) -> Quote:
+        """Produce a device-signed attestation quote over ``report_data``."""
+        if len(report_data) > 64:
+            raise ValueError("report_data exceeds the 64-byte SGX field")
+        padded = report_data.ljust(64, b"\x00")
+        quote = Quote(
+            measurement=self._measurement,
+            report_data=padded,
+            device_id=self._device.device_id,
+            signature=b"",
+        )
+        signature = self._device._sign_report(quote.signed_payload())
+        return Quote(
+            measurement=quote.measurement,
+            report_data=quote.report_data,
+            device_id=quote.device_id,
+            signature=signature,
+        )
+
+
+class EnclaveHost:
+    """The untrusted-side handle to a loaded enclave.
+
+    Only ``@ecall`` methods are reachable; anything else raises
+    :class:`EnclaveViolation`.  The host counts boundary crossings so the
+    Table-I micro-benchmark can report per-ECALL costs.
+    """
+
+    def __init__(self, enclave: Enclave):
+        object.__setattr__(self, "_enclave", enclave)
+        object.__setattr__(self, "ecall_count", 0)
+
+    @property
+    def measurement(self) -> Measurement:
+        return self._enclave.measurement
+
+    def __getattr__(self, name: str) -> Any:
+        enclave = object.__getattribute__(self, "_enclave")
+        try:
+            attribute = getattr(type(enclave), name)
+        except AttributeError:
+            raise EnclaveViolation(
+                f"no ECALL named {name!r} on {type(enclave).__name__}"
+            ) from None
+        if not getattr(attribute, "__is_ecall__", False):
+            raise EnclaveViolation(
+                f"{type(enclave).__name__}.{name} is enclave-private "
+                f"(not a registered ECALL)"
+            )
+
+        def _ecall_proxy(*args: Any, **kwargs: Any) -> Any:
+            object.__setattr__(self, "ecall_count", self.ecall_count + 1)
+            return attribute(enclave, *args, **kwargs)
+
+        return _ecall_proxy
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise EnclaveViolation("enclave state cannot be written from outside")
+
+
+def sealing_key_for(device: SgxDevice, measurement: Measurement) -> bytes:
+    """Expose the device sealing-key derivation for :mod:`repro.sgx.sealing`."""
+    return device._sealing_key(measurement)
+
+
+def report_data_binding(public_key) -> bytes:
+    """The 32-byte binding of an enclave RSA key placed in report_data."""
+    return sha256(
+        public_key.n.to_bytes((public_key.n.bit_length() + 7) // 8, "big")
+        + public_key.e.to_bytes(4, "big")
+    )

@@ -1,0 +1,34 @@
+"""Exception hierarchy for the SGX emulation layer."""
+
+from __future__ import annotations
+
+__all__ = [
+    "SgxError",
+    "EnclaveViolation",
+    "AttestationError",
+    "SealingError",
+    "ProvisioningError",
+]
+
+
+class SgxError(Exception):
+    """Base class for all SGX-emulation failures."""
+
+
+class EnclaveViolation(SgxError):
+    """Raised when untrusted code tries to cross the enclave boundary
+    other than through a registered ECALL."""
+
+
+class AttestationError(SgxError):
+    """Raised when a quote fails verification (unknown measurement, bad
+    signature, revoked device, or tampered report data)."""
+
+
+class SealingError(SgxError):
+    """Raised when sealed data fails authentication or is unsealed on the
+    wrong device/enclave identity."""
+
+
+class ProvisioningError(SgxError):
+    """Raised when group-key provisioning is refused."""

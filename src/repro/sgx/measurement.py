@@ -1,0 +1,61 @@
+"""Enclave identity: measurements and attestation quotes.
+
+Real SGX identifies an enclave by MRENCLAVE, a SHA-256 over the enclave's
+initial code/data pages.  The emulation measures the enclave *class* —
+its qualified name and a version tag — which captures the property RAPTEE
+needs: two enclaves with equal measurements run the same code, and a
+modified (malicious) enclave cannot claim the measurement of the genuine
+one without breaking the hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hashing import concat_hash
+
+__all__ = ["Measurement", "Quote", "measure_class"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """A 32-byte enclave code measurement (MRENCLAVE analogue)."""
+
+    digest: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.digest) != 32:
+            raise ValueError("measurement digest must be 32 bytes")
+
+    def hex(self) -> str:
+        return self.digest.hex()
+
+
+def measure_class(enclave_class: type, version: str = "1") -> Measurement:
+    """Measure an enclave class (module path + qualname + version)."""
+    identity = f"{enclave_class.__module__}.{enclave_class.__qualname__}".encode()
+    return Measurement(concat_hash(b"mrenclave", identity, version.encode()))
+
+
+@dataclass(frozen=True)
+class Quote:
+    """An attestation quote: measurement + report data, device-signed.
+
+    ``report_data`` is the 64-byte user-data field of a real SGX report; the
+    provisioning protocol places the hash of the enclave's ephemeral RSA key
+    there, binding the key to the attested enclave instance.
+    """
+
+    measurement: Measurement
+    report_data: bytes
+    device_id: int
+    signature: bytes
+
+    def signed_payload(self) -> bytes:
+        """The byte string covered by the device signature."""
+        return concat_hash(
+            b"quote",
+            self.measurement.digest,
+            self.report_data,
+            self.device_id.to_bytes(8, "big", signed=False),
+        )

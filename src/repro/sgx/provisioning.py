@@ -1,0 +1,51 @@
+"""Group-key provisioning to attested enclaves.
+
+RAPTEE's trusted nodes "share a common secret key that is provisioned during
+the remote-attestation phase" (§IV-A).  The provisioner holds that group key
+K_T.  An enclave that wants it generates an ephemeral RSA keypair *inside*
+the enclave, binds the public key into an attestation quote's report data,
+and submits both.  The provisioner verifies the quote (device genuine,
+measurement trusted, binding intact) and returns K_T encrypted under the
+enclave key — so K_T never exists in untrusted memory.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.crypto.hashing import constant_time_equal
+from repro.crypto.rsa import RsaPublicKey
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import report_data_binding
+from repro.sgx.errors import AttestationError, ProvisioningError
+from repro.sgx.measurement import Quote
+
+__all__ = ["GroupKeyProvisioner"]
+
+
+class GroupKeyProvisioner:
+    """Releases the trusted group key to successfully attested enclaves."""
+
+    def __init__(self, attestation: AttestationService, group_key: bytes, rng: random.Random):
+        if len(group_key) != 16:
+            raise ValueError("group key must be a 16-byte AES key")
+        self._attestation = attestation
+        self._group_key = group_key
+        self._rng = rng
+        self.provisioned_count = 0
+
+    def provision(self, quote: Quote, enclave_public_key: RsaPublicKey) -> bytes:
+        """Verify attestation and return Enc_RSA(K_T) for the enclave key.
+
+        Raises :class:`ProvisioningError` if the quote does not verify or if
+        ``enclave_public_key`` is not the key bound into the quote.
+        """
+        binding = report_data_binding(enclave_public_key)
+        if not constant_time_equal(quote.report_data[: len(binding)], binding):
+            raise ProvisioningError("public key is not bound into the quote")
+        try:
+            self._attestation.verify_quote(quote)
+        except AttestationError as error:
+            raise ProvisioningError(f"attestation failed: {error}") from error
+        self.provisioned_count += 1
+        return enclave_public_key.encrypt(self._group_key, self._rng)

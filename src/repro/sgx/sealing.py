@@ -1,0 +1,52 @@
+"""Sealed storage: encrypt-then-MAC under a device+measurement-bound key.
+
+Real SGX enclaves persist secrets (here: the provisioned group key, so a
+trusted node can restart without re-attesting) by sealing them with a key
+derived from the CPU's root sealing secret and the enclave identity.  The
+emulation derives the key with HKDF and protects the blob with
+AES-128-CTR + HMAC-SHA256 (encrypt-then-MAC).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ctr import AesCtr, NONCE_SIZE
+from repro.crypto.hashing import constant_time_equal, hkdf, hmac_sha256
+from repro.sgx.enclave import SgxDevice, sealing_key_for
+from repro.sgx.errors import SealingError
+from repro.sgx.measurement import Measurement
+
+__all__ = ["seal", "unseal"]
+
+_MAC_SIZE = 32
+
+
+def seal(device: SgxDevice, measurement: Measurement, data: bytes, nonce: bytes) -> bytes:
+    """Seal ``data`` to (device, enclave measurement).
+
+    ``nonce`` must be unique per sealing operation (callers draw it from the
+    enclave's trusted randomness).  Blob layout: nonce || ciphertext || mac.
+    """
+    if len(nonce) != NONCE_SIZE:
+        raise SealingError(f"nonce must be {NONCE_SIZE} bytes")
+    root_key = sealing_key_for(device, measurement)
+    enc_key = hkdf(root_key, b"seal-enc", length=16)
+    mac_key = hkdf(root_key, b"seal-mac", length=32)
+    ciphertext = AesCtr(enc_key, nonce).encrypt(data)
+    mac = hmac_sha256(mac_key, nonce + ciphertext)
+    return nonce + ciphertext + mac
+
+
+def unseal(device: SgxDevice, measurement: Measurement, blob: bytes) -> bytes:
+    """Unseal a blob; raises :class:`SealingError` if authentication fails."""
+    if len(blob) < NONCE_SIZE + _MAC_SIZE:
+        raise SealingError("sealed blob too short")
+    nonce = blob[:NONCE_SIZE]
+    ciphertext = blob[NONCE_SIZE:-_MAC_SIZE]
+    mac = blob[-_MAC_SIZE:]
+    root_key = sealing_key_for(device, measurement)
+    enc_key = hkdf(root_key, b"seal-enc", length=16)
+    mac_key = hkdf(root_key, b"seal-mac", length=32)
+    expected_mac = hmac_sha256(mac_key, nonce + ciphertext)
+    if not constant_time_equal(mac, expected_mac):
+        raise SealingError("sealed blob failed authentication")
+    return AesCtr(enc_key, nonce).decrypt(ciphertext)

@@ -1,0 +1,60 @@
+"""Round-based distributed-system simulator.
+
+Substrate replacing the paper's Grid'5000 deployment: a deterministic,
+seeded, round-synchronous engine with message transport (loss, optional
+encryption), bootstrap, churn models, and metric observers.
+"""
+
+from repro.sim.bootstrap import UniformBootstrap
+from repro.sim.churn import (
+    CatastrophicFailure,
+    ChurnEvent,
+    ChurnModel,
+    NoChurn,
+    UniformChurn,
+)
+from repro.sim.engine import Observer, RoundContext, Simulation
+from repro.sim.messages import (
+    AuthChallenge,
+    AuthConfirm,
+    AuthResponse,
+    AuthResult,
+    Message,
+    PullReply,
+    PullRequest,
+    Push,
+    TrustedSwapReply,
+    TrustedSwapRequest,
+)
+from repro.sim.network import Network, NetworkStats
+from repro.sim.node import NodeBase, NodeKind
+from repro.sim.observers import DiscoveryObserver, RoundRecord, ViewTraceObserver
+
+__all__ = [
+    "UniformBootstrap",
+    "CatastrophicFailure",
+    "ChurnEvent",
+    "ChurnModel",
+    "NoChurn",
+    "UniformChurn",
+    "Observer",
+    "RoundContext",
+    "Simulation",
+    "AuthChallenge",
+    "AuthConfirm",
+    "AuthResponse",
+    "AuthResult",
+    "Message",
+    "PullReply",
+    "PullRequest",
+    "Push",
+    "TrustedSwapReply",
+    "TrustedSwapRequest",
+    "Network",
+    "NetworkStats",
+    "NodeBase",
+    "NodeKind",
+    "DiscoveryObserver",
+    "RoundRecord",
+    "ViewTraceObserver",
+]

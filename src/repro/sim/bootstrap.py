@@ -1,0 +1,38 @@
+"""Bootstrap: initial view assignment.
+
+"To start the experiment, each node initiates [the protocol] with a view
+composed of a uniform random sample of the global membership" (§V-A).  The
+bootstrap service models the paper's bootstrap node: it knows the full
+membership and hands each joining node an independent uniform sample.
+
+Adversarial bootstrap variants (used by §VI-B's poisoned-trusted-node
+injection) live in :mod:`repro.adversary.poisoned`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+__all__ = ["UniformBootstrap"]
+
+
+class UniformBootstrap:
+    """Uniform-sample bootstrap over a fixed global membership."""
+
+    def __init__(self, membership: Sequence[int], rng: random.Random):
+        if not membership:
+            raise ValueError("membership must be non-empty")
+        self._membership = list(membership)
+        self._rng = rng
+
+    def initial_view(self, node_id: int, size: int) -> List[int]:
+        """A uniform random sample (without the node itself, no duplicates).
+
+        If ``size`` exceeds the available membership the whole membership
+        (minus the node) is returned — small test topologies hit this.
+        """
+        candidates = [peer for peer in self._membership if peer != node_id]
+        if size >= len(candidates):
+            return list(candidates)
+        return self._rng.sample(candidates, size)

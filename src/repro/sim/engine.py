@@ -1,0 +1,166 @@
+"""Round-based simulation engine.
+
+Brahms and RAPTEE are round-synchronous protocols (the paper runs 200 rounds
+of 2.5 s); the engine executes each round in three phases over all alive
+nodes:
+
+1. **begin** — every node resets its per-round buffers;
+2. **gossip** — every node, in a per-round shuffled order, sends its pushes
+   and runs its pull/auth/swap sessions synchronously;
+3. **end** — every node integrates received IDs into its view and samplers.
+
+Because views only change in phase 3, the order of nodes inside phase 2 has
+no effect on the information available to any node — every pull reply is
+computed from start-of-round state — which makes runs independent of
+iteration order and therefore reproducible under a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.sim.churn import ChurnModel, NoChurn
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.node import NodeBase, NodeKind
+
+__all__ = ["RoundContext", "Observer", "Simulation"]
+
+
+class RoundContext:
+    """Per-round handle nodes use to act on the network."""
+
+    def __init__(self, simulation: "Simulation", round_number: int):
+        self._simulation = simulation
+        self.round_number = round_number
+
+    @property
+    def network(self) -> Network:
+        return self._simulation.network
+
+    def send_push(self, src: int, dst: int) -> bool:
+        return self._simulation.network.send_push(src, dst)
+
+    def request(self, src: int, dst: int, message: Message) -> Optional[Message]:
+        return self._simulation.network.request(src, dst, message)
+
+
+class Observer:
+    """Hook invoked after every completed round."""
+
+    def on_round_end(self, simulation: "Simulation") -> None:
+        raise NotImplementedError
+
+
+class Simulation:
+    """Drives a population of :class:`NodeBase` through synchronous rounds."""
+
+    def __init__(
+        self,
+        network: Network,
+        nodes: Iterable[NodeBase],
+        rng: random.Random,
+        churn: Optional[ChurnModel] = None,
+        node_factory: Optional[Callable[[int], NodeBase]] = None,
+    ):
+        self.network = network
+        self.nodes: Dict[int, NodeBase] = {}
+        self._rng = rng
+        self._churn = churn or NoChurn()
+        self._node_factory = node_factory
+        self.round_number = 0
+        self._next_node_id = 0
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership ------------------------------------------------------------
+
+    def add_node(self, node: NodeBase) -> None:
+        self.nodes[node.node_id] = node
+        self.network.register(node)
+        self._next_node_id = max(self._next_node_id, node.node_id + 1)
+        self._invalidate_kind_cache()
+
+    def remove_node(self, node_id: int) -> None:
+        node = self.nodes.pop(node_id, None)
+        if node is not None:
+            node.alive = False
+        self.network.unregister(node_id)
+        self._invalidate_kind_cache()
+
+    def alive_nodes(self) -> List[NodeBase]:
+        return [node for node in self.nodes.values() if node.alive]
+
+    def _invalidate_kind_cache(self) -> None:
+        self._kind_cache: Dict[NodeKind, frozenset] = {}
+
+    def ids_of_kind(self, kind: NodeKind) -> frozenset:
+        """Alive node IDs of a given kind (cached until membership changes)."""
+        cached = self._kind_cache.get(kind)
+        if cached is None:
+            cached = frozenset(
+                node.node_id for node in self.nodes.values()
+                if node.alive and node.kind is kind
+            )
+            self._kind_cache[kind] = cached
+        return cached
+
+    @property
+    def byzantine_ids(self) -> frozenset:
+        return self.ids_of_kind(NodeKind.BYZANTINE)
+
+    def correct_node_ids(self) -> frozenset:
+        """All alive non-Byzantine IDs (honest + trusted + poisoned-trusted)."""
+        return frozenset(
+            node.node_id for node in self.nodes.values()
+            if node.alive and not node.kind.is_byzantine
+        )
+
+    def correct_nodes(self) -> List[NodeBase]:
+        return [
+            node for node in self.nodes.values()
+            if node.alive and not node.kind.is_byzantine
+        ]
+
+    # -- execution -------------------------------------------------------------
+
+    def _apply_churn(self) -> None:
+        event = self._churn.events_for_round(
+            self.round_number, sorted(self.nodes), self._rng
+        )
+        for node_id in event.departures:
+            self.remove_node(node_id)
+        if event.arrivals and self._node_factory is None:
+            raise RuntimeError("churn model produced arrivals but no node_factory is set")
+        for _ in range(event.arrivals):
+            new_node = self._node_factory(self._next_node_id)
+            self.add_node(new_node)
+
+    def run_round(self) -> None:
+        """Execute one full round."""
+        self.round_number += 1
+        self.network.current_round = self.round_number
+        self._apply_churn()
+        ctx = RoundContext(self, self.round_number)
+
+        alive = self.alive_nodes()
+        for node in alive:
+            node.begin_round(ctx)
+
+        order = list(alive)
+        self._rng.shuffle(order)
+        for node in order:
+            if node.alive:
+                node.gossip(ctx)
+
+        for node in alive:
+            if node.alive:
+                node.end_round(ctx)
+
+    def run(self, rounds: int, observers: Sequence[Observer] = ()) -> None:
+        """Run ``rounds`` rounds, invoking observers after each."""
+        for _ in range(rounds):
+            self.run_round()
+            for observer in observers:
+                observer.on_round_end(self)

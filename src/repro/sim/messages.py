@@ -1,0 +1,101 @@
+"""Wire messages exchanged by peer-sampling nodes.
+
+The message vocabulary follows the paper:
+
+* Brahms gossip: ``Push`` (sender's ID only, §III-A), ``PullRequest`` and
+  ``PullReply`` (full view of the responder).
+* RAPTEE mutual authentication (§IV-A): ``AuthChallenge`` (r_A),
+  ``AuthResponse`` (r_B, [H(r_A‖r_B)]_{K_B}) and ``AuthConfirm``
+  ([H(r_B‖r_A)]_{K_A}).
+* RAPTEE trusted communication (§IV-B): ``TrustedSwapRequest`` /
+  ``TrustedSwapReply`` carrying half-views.
+
+All messages are plain frozen dataclasses; the transport layer (see
+:mod:`repro.sim.network`) handles encryption and accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = [
+    "Message",
+    "Push",
+    "PullRequest",
+    "PullReply",
+    "AuthChallenge",
+    "AuthResponse",
+    "AuthConfirm",
+    "AuthResult",
+    "TrustedSwapRequest",
+    "TrustedSwapReply",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class; ``sender`` is the node ID of the originator."""
+
+    sender: int
+
+
+@dataclass(frozen=True)
+class Push(Message):
+    """Brahms push: advertises only the sender's own ID."""
+
+
+@dataclass(frozen=True)
+class PullRequest(Message):
+    """Brahms pull request: asks the receiver for its full view."""
+
+
+@dataclass(frozen=True)
+class PullReply(Message):
+    """Answer to a pull request: the responder's current view."""
+
+    ids: Tuple[int, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class AuthChallenge(Message):
+    """First auth flow: A sends the pseudo-random challenge r_A."""
+
+    r_a: bytes = b""
+
+
+@dataclass(frozen=True)
+class AuthResponse(Message):
+    """Second auth flow: B returns r_B and [H(r_A‖r_B)]_{K_B}."""
+
+    r_b: bytes = b""
+    proof: bytes = b""
+
+
+@dataclass(frozen=True)
+class AuthConfirm(Message):
+    """Third auth flow: A returns [H(r_B‖r_A)]_{K_A}."""
+
+    proof: bytes = b""
+
+
+@dataclass(frozen=True)
+class AuthResult(Message):
+    """Synchronous outcome of a handshake (not a wire message): whether the
+    responder recognized the initiator as sharing its key."""
+
+    mutual: bool = False
+
+
+@dataclass(frozen=True)
+class TrustedSwapRequest(Message):
+    """Trusted communication: initiator offers half of its view."""
+
+    offered: Tuple[int, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class TrustedSwapReply(Message):
+    """Trusted communication: responder returns half of its own view."""
+
+    offered: Tuple[int, ...] = field(default_factory=tuple)

@@ -1,0 +1,140 @@
+"""Message transport between simulated nodes.
+
+The network delivers pushes (fire-and-forget) and runs synchronous
+request-response sessions (pull, auth, trusted swap).  It models:
+
+* message loss (``loss_rate``), applied independently per message;
+* node failure (messages to dead nodes are dropped);
+* optional transport encryption — the paper encrypts *all* pairwise
+  communication with symmetric keys against an eavesdropping adversary
+  (§III-B).  When enabled, every payload is serialized and AES-CTR-encrypted
+  under a per-pair key; this verifies the crypto path but is off by default
+  in large sweeps for speed (it changes no protocol-visible behaviour).
+
+All traffic is counted, giving experiments message-complexity statistics.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.crypto.ctr import AesCtr
+from repro.crypto.hashing import hkdf
+from repro.sim.messages import Message
+from repro.sim.node import NodeBase
+
+__all__ = ["Network", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Counters over the lifetime of a simulation."""
+
+    pushes_sent: int = 0
+    pushes_delivered: int = 0
+    requests_sent: int = 0
+    replies_delivered: int = 0
+    messages_lost: int = 0
+    bytes_encrypted: int = 0
+    per_round_pushes: Dict[int, int] = field(default_factory=dict)
+
+
+class Network:
+    """Round-scoped transport over a registry of nodes."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        loss_rate: float = 0.0,
+        encrypt: bool = False,
+        transport_secret: bytes = b"\x00" * 16,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self._nodes: Dict[int, NodeBase] = {}
+        self._rng = rng
+        self._loss_rate = loss_rate
+        self._encrypt = encrypt
+        self._transport_secret = transport_secret
+        self._pair_keys: Dict[Tuple[int, int], bytes] = {}
+        self._nonce_counter = 0
+        self.stats = NetworkStats()
+        self.current_round = 0
+
+    # -- topology --------------------------------------------------------------
+
+    def register(self, node: NodeBase) -> None:
+        if node.node_id in self._nodes:
+            raise ValueError(f"node id {node.node_id} already registered")
+        self._nodes[node.node_id] = node
+
+    def unregister(self, node_id: int) -> None:
+        self._nodes.pop(node_id, None)
+
+    def node(self, node_id: int) -> Optional[NodeBase]:
+        return self._nodes.get(node_id)
+
+    def is_reachable(self, node_id: int) -> bool:
+        node = self._nodes.get(node_id)
+        return node is not None and node.alive
+
+    # -- encryption ------------------------------------------------------------
+
+    def _pair_key(self, a: int, b: int) -> bytes:
+        pair = (a, b) if a <= b else (b, a)
+        key = self._pair_keys.get(pair)
+        if key is None:
+            info = b"pair" + pair[0].to_bytes(8, "big") + pair[1].to_bytes(8, "big")
+            key = hkdf(self._transport_secret, info, length=16)
+            self._pair_keys[pair] = key
+        return key
+
+    def _through_wire(self, src: int, dst: int, message: Message) -> Message:
+        """Simulate serialization + encryption + decryption of a payload."""
+        if not self._encrypt:
+            return message
+        key = self._pair_key(src, dst)
+        self._nonce_counter += 1
+        nonce = self._nonce_counter.to_bytes(8, "big")
+        plaintext = pickle.dumps(message)
+        ciphertext = AesCtr(key, nonce).encrypt(plaintext)
+        self.stats.bytes_encrypted += len(ciphertext)
+        decrypted = AesCtr(key, nonce).decrypt(ciphertext)
+        return pickle.loads(decrypted)
+
+    # -- delivery ------------------------------------------------------------
+
+    def _lost(self) -> bool:
+        return self._loss_rate > 0.0 and self._rng.random() < self._loss_rate
+
+    def send_push(self, src: int, dst: int) -> bool:
+        """Deliver a push from ``src`` to ``dst``; returns delivery success."""
+        self.stats.pushes_sent += 1
+        self.stats.per_round_pushes[self.current_round] = (
+            self.stats.per_round_pushes.get(self.current_round, 0) + 1
+        )
+        if self._lost() or not self.is_reachable(dst):
+            self.stats.messages_lost += 1
+            return False
+        self._nodes[dst].on_push(src)
+        self.stats.pushes_delivered += 1
+        return True
+
+    def request(self, src: int, dst: int, message: Message) -> Optional[Message]:
+        """Synchronous request-response; ``None`` on loss or dead peer."""
+        self.stats.requests_sent += 1
+        if self._lost() or not self.is_reachable(dst):
+            self.stats.messages_lost += 1
+            return None
+        delivered = self._through_wire(src, dst, message)
+        reply = self._nodes[dst].handle_request(delivered)
+        if reply is None:
+            return None
+        if self._lost():
+            self.stats.messages_lost += 1
+            return None
+        self.stats.replies_delivered += 1
+        return self._through_wire(dst, src, reply)

@@ -1,0 +1,97 @@
+"""Node interface for the round-based simulator.
+
+A protocol (Brahms, RAPTEE, a Byzantine strategy, a plain gossip PSS) is a
+:class:`NodeBase` subclass.  The engine drives three phases per round:
+
+1. ``begin_round`` — reset per-round buffers;
+2. ``gossip`` — the node's *active* behaviour: emit pushes and run pull
+   sessions (synchronous request-response) through the
+   :class:`~repro.sim.engine.RoundContext`;
+3. ``end_round`` — integrate what was received into view and samples.
+
+Passive behaviour — answering pushes and requests from other nodes — goes
+through :meth:`on_push` and :meth:`handle_request`, called by the network
+when messages arrive.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.sim.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import RoundContext
+
+__all__ = ["NodeKind", "NodeBase"]
+
+
+class NodeKind(enum.Enum):
+    """Role of a node in the experiment topology.
+
+    ``POISONED_TRUSTED`` nodes are genuine SGX devices bought by the
+    adversary (§VI-B): they run the *correct* trusted code but start with
+    adversarially poisoned views.  They are counted on the adversary's side
+    for injection budgets but, having correct code, are not Byzantine.
+    """
+
+    HONEST = "honest"
+    TRUSTED = "trusted"
+    BYZANTINE = "byzantine"
+    POISONED_TRUSTED = "poisoned_trusted"
+
+    @property
+    def runs_trusted_code(self) -> bool:
+        return self in (NodeKind.TRUSTED, NodeKind.POISONED_TRUSTED)
+
+    @property
+    def is_byzantine(self) -> bool:
+        return self is NodeKind.BYZANTINE
+
+
+class NodeBase:
+    """Base class for all simulated nodes."""
+
+    def __init__(self, node_id: int, kind: NodeKind):
+        self.node_id = node_id
+        self.kind = kind
+        self.alive = True
+
+    # -- active phase -------------------------------------------------------
+
+    def begin_round(self, ctx: "RoundContext") -> None:
+        """Reset per-round state.  Default: nothing."""
+
+    def gossip(self, ctx: "RoundContext") -> None:
+        """Emit pushes and run pull sessions for this round."""
+        raise NotImplementedError
+
+    def end_round(self, ctx: "RoundContext") -> None:
+        """Integrate the round's received information.  Default: nothing."""
+
+    # -- passive phase --------------------------------------------------------
+
+    def on_push(self, sender_id: int) -> None:
+        """A push from ``sender_id`` arrived this round.  Default: ignore."""
+
+    def handle_request(self, message: Message) -> Optional[Message]:
+        """Answer a synchronous request; ``None`` means no answer (drop)."""
+        raise NotImplementedError
+
+    # -- introspection (used by metrics and bootstrapping) ---------------------
+
+    def view_ids(self) -> List[int]:
+        """The node's current dynamic view (IDs, possibly with duplicates)."""
+        raise NotImplementedError
+
+    def known_ids(self) -> List[int]:
+        """Every distinct ID this node has ever learned (discovery metric)."""
+        raise NotImplementedError
+
+    def seed_view(self, ids: List[int]) -> None:
+        """Install the bootstrap view (uniform sample of global membership)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} id={self.node_id} kind={self.kind.value}>"

@@ -1,0 +1,78 @@
+"""ASCII plotting tests."""
+
+import pytest
+
+from repro.analysis.plotting import (
+    line_chart,
+    per_kind_series,
+    pollution_series,
+    sparkline,
+)
+from repro.sim.node import NodeKind
+from repro.sim.observers import RoundRecord
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3, 4])) == 4
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_is_monotone(self):
+        chart = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert chart == "▁▂▃▄▅▆▇█"
+
+    def test_explicit_bounds(self):
+        # With a wide explicit range, mid values map to mid glyphs.
+        chart = sparkline([0.5], minimum=0.0, maximum=1.0)
+        assert chart in ("▄", "▅")
+
+
+class TestLineChart:
+    def test_empty(self):
+        assert line_chart({}) == "(no data)"
+        assert line_chart({"a": []}) == "(no data)"
+
+    def test_dimension_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, height=1)
+
+    def test_contains_markers_and_legend(self):
+        chart = line_chart({"one": [0, 1, 2], "two": [2, 1, 0]}, height=5, width=10)
+        assert "*" in chart and "+" in chart
+        assert "* one" in chart and "+ two" in chart
+
+    def test_axis_labels_show_bounds(self):
+        chart = line_chart({"a": [0.0, 10.0]}, height=4, width=10)
+        assert "10.000" in chart
+        assert "0.000" in chart
+
+    def test_long_series_resampled_to_width(self):
+        chart = line_chart({"a": list(range(1000))}, height=4, width=20)
+        longest = max(len(line) for line in chart.splitlines())
+        assert longest <= 20 + 12  # width + axis prefix
+
+
+class TestSeriesExtraction:
+    def _records(self):
+        first = RoundRecord(round_number=1)
+        first.byzantine_fraction = {1: 0.2, 2: 0.4}
+        first.by_kind = {NodeKind.HONEST: [0.2], NodeKind.TRUSTED: [0.4]}
+        second = RoundRecord(round_number=2)
+        second.byzantine_fraction = {1: 0.3, 2: 0.5}
+        second.by_kind = {NodeKind.HONEST: [0.3], NodeKind.TRUSTED: [0.5]}
+        return [first, second]
+
+    def test_pollution_series(self):
+        assert pollution_series(self._records()) == [
+            pytest.approx(0.3), pytest.approx(0.4)
+        ]
+
+    def test_per_kind_series(self):
+        records = self._records()
+        assert per_kind_series(records, NodeKind.HONEST) == [0.2, 0.3]
+        assert per_kind_series(records, NodeKind.BYZANTINE) == [0.0, 0.0]

@@ -1,0 +1,69 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main, parse_eviction
+from repro.core.eviction import AdaptiveEviction, FixedEviction
+
+
+class TestParseEviction:
+    def test_adaptive(self):
+        assert isinstance(parse_eviction("adaptive"), AdaptiveEviction)
+
+    def test_fixed(self):
+        policy = parse_eviction("0.6")
+        assert isinstance(policy, FixedEviction)
+        assert policy.value == 0.6
+
+    def test_garbage_rejected(self):
+        import argparse
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_eviction("lots")
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_eviction("1.5")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.protocol == "raptee"
+        assert args.nodes == 300
+
+    def test_figure_choices(self):
+        args = build_parser().parse_args(["figure", "fig9"])
+        assert args.figure_id == "fig9"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+
+class TestCommands:
+    def test_run_brahms(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "brahms", "--nodes", "60",
+            "--rounds", "8", "--f", "0.1",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "byz IDs in views" in out
+        assert "protocol:           brahms" in out
+
+    def test_run_raptee_with_sketch(self, capsys):
+        exit_code = main([
+            "run", "--nodes", "60", "--rounds", "6", "--t", "0.1",
+            "--eviction", "0.4", "--sketch-unbias",
+        ])
+        assert exit_code == 0
+        assert "trusted 6" in capsys.readouterr().out
+
+    def test_attack_command(self, capsys):
+        exit_code = main([
+            "attack", "--nodes", "60", "--rounds", "6",
+            "--f", "0.2", "--t", "0.2", "--eviction", "1.0",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "precision" in out and "F1" in out

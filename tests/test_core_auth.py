@@ -1,0 +1,99 @@
+"""Mutual-authentication protocol tests (§IV-A)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.auth import AuthScheme, KEY_BYTES, NONCE_BYTES
+
+GROUP_KEY = b"T" * KEY_BYTES
+OTHER_KEY = b"U" * KEY_BYTES
+
+
+def run_handshake(scheme: AuthScheme, key_a: bytes, key_b: bytes, seed=0):
+    """Execute the full §IV-A flow; returns (a_trusts_b, b_trusts_a)."""
+    rng = random.Random(seed)
+    r_a = scheme.make_challenge(rng)
+    parts = scheme.respond(key_b, r_a, rng)
+    a_trusts_b = scheme.check_response(key_a, r_a, parts.r_b, parts.proof)
+    confirm = scheme.confirm(key_a, r_a, parts.r_b)
+    b_trusts_a = scheme.check_confirm(key_b, r_a, parts.r_b, confirm)
+    return a_trusts_b, b_trusts_a
+
+
+@pytest.fixture(params=["hmac", "aes-ctr"])
+def scheme(request) -> AuthScheme:
+    return AuthScheme(request.param)
+
+
+class TestHandshakeOutcomes:
+    def test_shared_key_authenticates_both_ways(self, scheme):
+        assert run_handshake(scheme, GROUP_KEY, GROUP_KEY) == (True, True)
+
+    def test_distinct_keys_fail_both_ways(self, scheme):
+        assert run_handshake(scheme, GROUP_KEY, OTHER_KEY) == (False, False)
+
+    def test_two_untrusted_random_keys_fail(self, scheme):
+        rng = random.Random(0)
+        key_a = rng.getrandbits(128).to_bytes(16, "big")
+        key_b = rng.getrandbits(128).to_bytes(16, "big")
+        assert run_handshake(scheme, key_a, key_b) == (False, False)
+
+    def test_tampered_response_proof_rejected(self, scheme):
+        rng = random.Random(1)
+        r_a = scheme.make_challenge(rng)
+        parts = scheme.respond(GROUP_KEY, r_a, rng)
+        tampered = bytes([parts.proof[0] ^ 1]) + parts.proof[1:]
+        assert not scheme.check_response(GROUP_KEY, r_a, parts.r_b, tampered)
+
+    def test_replayed_proof_fails_for_fresh_challenge(self, scheme):
+        """A Byzantine node replaying an observed trusted proof under a new
+        challenge must fail: proofs bind both nonces."""
+        rng = random.Random(2)
+        r_a1 = scheme.make_challenge(rng)
+        observed = scheme.respond(GROUP_KEY, r_a1, rng)
+        r_a2 = scheme.make_challenge(rng)
+        assert r_a1 != r_a2
+        assert not scheme.check_response(GROUP_KEY, r_a2, observed.r_b, observed.proof)
+
+    def test_confirm_is_direction_sensitive(self, scheme):
+        """The confirm proof hashes (r_B, r_A), not (r_A, r_B) — reflecting
+        the responder's own proof back must not authenticate."""
+        rng = random.Random(3)
+        r_a = scheme.make_challenge(rng)
+        parts = scheme.respond(GROUP_KEY, r_a, rng)
+        assert not scheme.check_confirm(GROUP_KEY, r_a, parts.r_b, parts.proof)
+
+
+class TestSchemeProperties:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            AuthScheme("rot13")
+
+    def test_nonce_size(self):
+        assert len(AuthScheme.make_challenge(random.Random(0))) == NONCE_BYTES
+
+    def test_nonces_are_fresh(self):
+        rng = random.Random(0)
+        assert AuthScheme.make_challenge(rng) != AuthScheme.make_challenge(rng)
+
+    def test_schemes_agree_on_outcomes(self):
+        """'hmac' and 'aes-ctr' accept/reject identically for any key pair."""
+        for seed in range(10):
+            key_rng = random.Random(seed)
+            key_a = key_rng.getrandbits(128).to_bytes(16, "big")
+            key_b = key_a if seed % 2 == 0 else key_rng.getrandbits(128).to_bytes(16, "big")
+            hmac_result = run_handshake(AuthScheme("hmac"), key_a, key_b, seed=seed)
+            aes_result = run_handshake(AuthScheme("aes-ctr"), key_a, key_b, seed=seed)
+            assert hmac_result == aes_result == ((key_a == key_b),) * 2
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_shared_key_always_authenticates(self, seed):
+        assert run_handshake(AuthScheme("hmac"), GROUP_KEY, GROUP_KEY, seed=seed) == (True, True)
+
+    @given(key=st.binary(min_size=16, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_any_shared_key_works(self, key):
+        assert run_handshake(AuthScheme("hmac"), key, key) == (True, True)

@@ -1,0 +1,75 @@
+"""Number theory: Miller-Rabin, prime generation, modular inverse."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.numbers import generate_prime, is_probable_prime, modular_inverse
+
+SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 97, 101, 997, 7919]
+SMALL_COMPOSITES = [1, 4, 6, 8, 9, 15, 21, 25, 91, 100, 561, 1105, 6601]
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("prime", SMALL_PRIMES)
+    def test_known_primes(self, prime):
+        assert is_probable_prime(prime)
+
+    @pytest.mark.parametrize("composite", SMALL_COMPOSITES)
+    def test_known_composites(self, composite):
+        assert not is_probable_prime(composite)
+
+    def test_carmichael_numbers_are_rejected(self):
+        # Fermat pseudoprimes that defeat naive tests.
+        for carmichael in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_probable_prime(carmichael)
+
+    def test_negative_and_zero(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(-7)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime((1 << 61) - 1)  # Mersenne prime M61
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((1 << 61) - 3)
+
+    def test_product_of_two_primes_is_composite(self):
+        rng = random.Random(7)
+        p = generate_prime(64, rng)
+        q = generate_prime(64, rng)
+        assert not is_probable_prime(p * q)
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = random.Random(1)
+        for bits in (16, 32, 64, 128):
+            prime = generate_prime(bits, rng)
+            assert prime.bit_length() == bits
+            assert is_probable_prime(prime)
+
+    def test_refuses_tiny_sizes(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, random.Random(0))
+
+    def test_deterministic_under_seed(self):
+        assert generate_prime(48, random.Random(5)) == generate_prime(48, random.Random(5))
+
+
+class TestModularInverse:
+    def test_known_inverse(self):
+        assert modular_inverse(3, 11) == 4  # 3*4 = 12 ≡ 1 (mod 11)
+
+    def test_no_inverse_raises(self):
+        with pytest.raises(ValueError):
+            modular_inverse(6, 9)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_inverse_property_mod_prime(self, a):
+        p = 1_000_003  # prime
+        inverse = modular_inverse(a, p)
+        assert (a * inverse) % p == 1
+        assert 0 <= inverse < p

@@ -1,0 +1,141 @@
+"""Scenario-builder and runner tests (small topologies)."""
+
+import pytest
+
+from repro.core.eviction import AdaptiveEviction, FixedEviction
+from repro.experiments.runner import repeat, run_bundle
+from repro.experiments.scenarios import (
+    TopologySpec,
+    build_brahms_simulation,
+    build_raptee_simulation,
+)
+from repro.sim.node import NodeKind
+
+
+class TestTopologySpec:
+    def test_population_counts(self):
+        spec = TopologySpec(n_nodes=100, byzantine_fraction=0.1, trusted_fraction=0.05)
+        assert spec.n_byzantine == 10
+        assert spec.n_trusted == 5
+        assert spec.n_honest == 85
+
+    def test_poisoned_are_additional(self):
+        spec = TopologySpec(n_nodes=100, byzantine_fraction=0.1, poisoned_fraction=0.05)
+        assert spec.n_poisoned == 5
+        assert spec.n_honest == 90
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopologySpec(n_nodes=5)
+        with pytest.raises(ValueError):
+            TopologySpec(byzantine_fraction=1.2)
+        with pytest.raises(ValueError):
+            TopologySpec(byzantine_fraction=0.6, trusted_fraction=0.5)
+
+    def test_brahms_config_scaling(self):
+        spec = TopologySpec(n_nodes=500, view_ratio=0.04)
+        assert spec.brahms_config().view_size == 20
+
+
+class TestBrahmsBuilder:
+    def test_population_kinds(self):
+        spec = TopologySpec(n_nodes=50, byzantine_fraction=0.2)
+        bundle = build_brahms_simulation(spec, seed=1)
+        sim = bundle.simulation
+        assert len(sim.ids_of_kind(NodeKind.BYZANTINE)) == 10
+        assert len(sim.ids_of_kind(NodeKind.HONEST)) == 40
+
+    def test_runs_and_produces_trace(self):
+        spec = TopologySpec(n_nodes=50, byzantine_fraction=0.1)
+        bundle = build_brahms_simulation(spec, seed=1)
+        metrics = run_bundle(bundle, rounds=10)
+        assert 0.0 <= metrics.resilience <= 1.0
+        assert len(bundle.trace.records) == 10
+
+    def test_deterministic_under_seed(self):
+        spec = TopologySpec(n_nodes=50, byzantine_fraction=0.1)
+        first = run_bundle(build_brahms_simulation(spec, seed=7), rounds=8)
+        second = run_bundle(build_brahms_simulation(spec, seed=7), rounds=8)
+        assert first == second
+
+    def test_seed_changes_outcome(self):
+        spec = TopologySpec(n_nodes=50, byzantine_fraction=0.1)
+        first = run_bundle(build_brahms_simulation(spec, seed=7), rounds=8)
+        second = run_bundle(build_brahms_simulation(spec, seed=8), rounds=8)
+        assert first != second
+
+
+class TestRapteeBuilder:
+    def test_population_kinds(self):
+        spec = TopologySpec(
+            n_nodes=50, byzantine_fraction=0.1, trusted_fraction=0.1,
+            poisoned_fraction=0.04,
+        )
+        bundle = build_raptee_simulation(spec, seed=1, eviction=AdaptiveEviction())
+        sim = bundle.simulation
+        assert len(sim.ids_of_kind(NodeKind.BYZANTINE)) == 5
+        assert len(sim.ids_of_kind(NodeKind.TRUSTED)) == 5
+        assert len(sim.ids_of_kind(NodeKind.POISONED_TRUSTED)) == 2
+        assert bundle.trusted_ids == sim.ids_of_kind(NodeKind.TRUSTED) | sim.ids_of_kind(
+            NodeKind.POISONED_TRUSTED
+        )
+
+    def test_all_trusted_nodes_share_group_key(self):
+        spec = TopologySpec(n_nodes=40, byzantine_fraction=0.0, trusted_fraction=0.1)
+        bundle = build_raptee_simulation(spec, seed=1, eviction=AdaptiveEviction())
+        trusted = [
+            sim_node
+            for sim_node in bundle.simulation.nodes.values()
+            if sim_node.kind is NodeKind.TRUSTED
+        ]
+        r_a = b"r" * 16
+        r_b, proof = trusted[0].enclave.auth_respond(r_a)
+        assert trusted[1].enclave.auth_check_response(r_a, r_b, proof)
+
+    def test_runs_with_cycle_accounting(self):
+        spec = TopologySpec(n_nodes=40, byzantine_fraction=0.0, trusted_fraction=0.2)
+        bundle = build_raptee_simulation(
+            spec, seed=1, eviction=FixedEviction(0.0), with_cycle_accounting=True
+        )
+        bundle.run(5)
+        trusted_id = next(iter(bundle.trusted_ids))
+        accountant = bundle.cycle_accountants[trusted_id]
+        assert accountant.total_cycles > 0
+
+    def test_cycle_mode_validation(self):
+        spec = TopologySpec(n_nodes=40)
+        with pytest.raises(ValueError):
+            build_raptee_simulation(
+                spec, seed=1, eviction=AdaptiveEviction(),
+                with_cycle_accounting=True, cycle_mode="bogus",
+            )
+
+    def test_deterministic_under_seed(self):
+        spec = TopologySpec(n_nodes=40, byzantine_fraction=0.1, trusted_fraction=0.1)
+        first = run_bundle(
+            build_raptee_simulation(spec, seed=5, eviction=AdaptiveEviction()), rounds=6
+        )
+        second = run_bundle(
+            build_raptee_simulation(spec, seed=5, eviction=AdaptiveEviction()), rounds=6
+        )
+        assert first == second
+
+    def test_probe_pulls_collect_intel(self):
+        spec = TopologySpec(n_nodes=50, byzantine_fraction=0.2, trusted_fraction=0.1)
+        bundle = build_raptee_simulation(
+            spec, seed=1, eviction=AdaptiveEviction(), probe_pulls=3
+        )
+        bundle.run(5)
+        assert len(bundle.coordinator.intel) > 0
+
+
+class TestRepeat:
+    def test_aggregates_over_seeds(self):
+        spec = TopologySpec(n_nodes=40, byzantine_fraction=0.1)
+
+        def build_and_run(seed):
+            return run_bundle(build_brahms_simulation(spec, seed), rounds=6)
+
+        repeated = repeat(build_and_run, seeds=[1, 2, 3])
+        assert repeated.resilience.count == 3
+        assert len(repeated.runs) == 3

@@ -1,0 +1,157 @@
+"""Gossip-PSS framework, partial view, Cyclon and Newscast tests."""
+
+import random
+import statistics
+from collections import Counter
+
+import pytest
+
+from repro.gossip.cyclon import CyclonNode
+from repro.gossip.framework import GossipPssConfig, GossipPssNode
+from repro.gossip.newscast import NewscastNode
+from repro.gossip.partial_view import PartialView, ViewEntry
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.sim.node import NodeKind
+
+
+class TestPartialView:
+    def test_add_keeps_youngest_on_collision(self):
+        view = PartialView(5)
+        view.add(ViewEntry(1, age=5))
+        view.add(ViewEntry(1, age=2))
+        assert view.entries() == [ViewEntry(1, 2)]
+        view.add(ViewEntry(1, age=9))  # older: ignored
+        assert view.entries() == [ViewEntry(1, 2)]
+
+    def test_oldest_peer(self):
+        view = PartialView(5, [ViewEntry(1, 0), ViewEntry(2, 7), ViewEntry(3, 3)])
+        assert view.oldest_peer() == 2
+
+    def test_oldest_peer_empty(self):
+        assert PartialView(5).oldest_peer() is None
+
+    def test_increase_ages(self):
+        view = PartialView(5, [ViewEntry(1, 0), ViewEntry(2, 1)])
+        view.increase_ages()
+        assert [entry.age for entry in view.entries()] == [1, 2]
+
+    def test_remove_id(self):
+        view = PartialView(5, [ViewEntry(1, 0), ViewEntry(2, 0)])
+        assert view.remove_id(1)
+        assert not view.remove_id(1)
+        assert view.ids() == [2]
+
+    def test_contains(self):
+        view = PartialView(5, [ViewEntry(1, 0)])
+        assert 1 in view
+        assert 2 not in view
+
+    def test_move_oldest_to_end(self):
+        view = PartialView(5, [ViewEntry(1, 9), ViewEntry(2, 0), ViewEntry(3, 8)])
+        view.move_oldest_to_end(2)
+        assert view.ids()[0] == 2  # only the youngest stays at the head
+
+    def test_select_caps_capacity(self):
+        rng = random.Random(0)
+        view = PartialView(3, [ViewEntry(i, i) for i in range(3)])
+        buffer = [ViewEntry(i, 0) for i in range(10, 16)]
+        view.select(buffer, healer=0, swapper=0, sent_count=0, rng=rng)
+        assert len(view) == 3
+
+    def test_select_heal_removes_oldest(self):
+        rng = random.Random(0)
+        view = PartialView(2, [ViewEntry(1, 99), ViewEntry(2, 0)])
+        view.select([ViewEntry(3, 0)], healer=1, swapper=0, sent_count=0, rng=rng)
+        assert 1 not in view  # the age-99 entry healed away
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PartialView(0)
+
+
+class TestFrameworkConfig:
+    def test_h_plus_s_bounded(self):
+        with pytest.raises(ValueError):
+            GossipPssConfig(view_size=10, healer=6, swapper=6)
+
+    def test_peer_selection_validation(self):
+        with pytest.raises(ValueError):
+            GossipPssConfig(peer_selection="middle")
+
+    def test_classic_instantiations(self):
+        cyclon = GossipPssConfig.cyclon(20)
+        assert (cyclon.healer, cyclon.swapper, cyclon.peer_selection) == (0, 10, "tail")
+        newscast = GossipPssConfig.newscast(20)
+        assert (newscast.healer, newscast.swapper, newscast.peer_selection) == (20, 0, "rand")
+        raptee = GossipPssConfig.raptee_instantiation(20)
+        assert raptee.swapper == 10 and raptee.push_pull
+
+
+def run_overlay(node_class, n=60, view_size=8, rounds=25, seed=4, **kwargs):
+    network = Network(random.Random(seed))
+    nodes = [node_class(i, view_size, random.Random(seed * 999 + i), **kwargs) for i in range(n)]
+    boot = random.Random(seed)
+    for node in nodes:
+        node.seed_view(boot.sample([m for m in range(n) if m != node.node_id], view_size))
+    sim = Simulation(network, nodes, random.Random(seed))
+    sim.run(rounds)
+    return nodes
+
+
+class TestOverlayProperties:
+    def test_cyclon_views_stay_full_and_unique(self):
+        nodes = run_overlay(CyclonNode)
+        for node in nodes:
+            ids = node.view_ids()
+            assert len(ids) == 8
+            assert len(set(ids)) == 8  # PartialView deduplicates
+            assert node.node_id not in ids
+
+    def test_cyclon_discovers_network(self):
+        nodes = run_overlay(CyclonNode)
+        for node in nodes:
+            assert len(node.known) > 40
+
+    def test_newscast_runs_and_discovers(self):
+        nodes = run_overlay(NewscastNode)
+        assert all(len(node.known) > 30 for node in nodes)
+
+    def test_cyclon_in_degree_more_balanced_than_newscast(self):
+        """The framework's headline empirical result (Jelasity et al.):
+        swap-heavy protocols balance in-degree, heal-heavy ones do not."""
+        cyclon_nodes = run_overlay(CyclonNode, seed=11)
+        newscast_nodes = run_overlay(NewscastNode, seed=11)
+
+        def in_degree_std(nodes):
+            counter = Counter()
+            for node in nodes:
+                for peer in node.view_ids():
+                    counter[peer] += 1
+            return statistics.pstdev([counter[n.node_id] for n in nodes])
+
+        assert in_degree_std(cyclon_nodes) < in_degree_std(newscast_nodes)
+
+    def test_newscast_flushes_dead_nodes_fast(self):
+        """Heal-heavy Newscast should purge a departed node from most views
+        within a few cycles."""
+        n, view_size, seed = 60, 8, 6
+        network = Network(random.Random(seed))
+        nodes = [NewscastNode(i, view_size, random.Random(seed * 999 + i)) for i in range(n)]
+        boot = random.Random(seed)
+        for node in nodes:
+            node.seed_view(boot.sample([m for m in range(n) if m != node.node_id], view_size))
+        sim = Simulation(network, nodes, random.Random(seed))
+        sim.run(10)
+        victim = 0
+        sim.remove_node(victim)
+        sim.run(15)
+        holders = sum(1 for node in sim.alive_nodes() if victim in node.view_ids())
+        assert holders <= 3
+
+    def test_framework_node_with_empty_view_is_inert(self):
+        network = Network(random.Random(0))
+        node = GossipPssNode(0, GossipPssConfig(view_size=4, swapper=2), random.Random(0))
+        sim = Simulation(network, [node], random.Random(0))
+        sim.run(2)  # must not raise
+        assert node.view_ids() == []

@@ -1,0 +1,132 @@
+"""Secure Peer Sampling (Jesi et al.) tests: detection catches slow hubs,
+rapid flooding overwhelms it (the RAPTEE paper's related-work claim)."""
+
+import random
+import statistics
+from typing import Optional
+
+import pytest
+
+from repro.gossip.framework import ViewExchangeReply, ViewExchangeRequest
+from repro.gossip.partial_view import ViewEntry
+from repro.gossip.secure_ps import SecurePsNode
+from repro.sim.bootstrap import UniformBootstrap
+from repro.sim.engine import Simulation
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.node import NodeBase, NodeKind
+
+VIEW = 10
+N = 80
+
+
+class HubAttacker(NodeBase):
+    """A malicious node offering only attacker IDs, ``intensity`` copies of
+    each attacker descriptor per exchange answer."""
+
+    def __init__(self, node_id, attacker_ids, rng, intensity):
+        super().__init__(node_id, NodeKind.BYZANTINE)
+        self.attacker_ids = list(attacker_ids)
+        self.rng = rng
+        self.intensity = intensity
+
+    def gossip(self, ctx):
+        return None
+
+    def handle_request(self, message: Message) -> Optional[Message]:
+        if isinstance(message, ViewExchangeRequest):
+            offered = tuple(
+                ViewEntry(self.rng.choice(self.attacker_ids), 0)
+                for _ in range(self.intensity)
+            )
+            return ViewExchangeReply(sender=self.node_id, entries=offered)
+        return None
+
+    def view_ids(self):
+        return list(self.attacker_ids)
+
+    def known_ids(self):
+        return list(range(N))
+
+    def seed_view(self, ids):
+        return None
+
+
+def run_attack(intensity, rounds=40, n_attackers=8, threshold=4.0, seed=2,
+               n_ids=None):
+    """``n_ids`` attacker identifiers are advertised from ``n_attackers``
+    malicious nodes; a small pool concentrates per-ID frequency (detectable
+    hub), a large pool spreads it below the detector's radar (Sybil flood).
+    """
+    if n_ids is None:
+        n_ids = n_attackers
+    attacker_ids = set(range(1000, 1000 + n_ids))
+    network = Network(random.Random(seed))
+    nodes = [
+        HubAttacker(i, sorted(attacker_ids), random.Random(i), intensity)
+        for i in range(n_attackers)
+    ]
+    nodes += [
+        SecurePsNode(i, VIEW, random.Random(seed * 991 + i),
+                     detection_threshold=threshold)
+        for i in range(n_attackers, N)
+    ]
+    bootstrap = UniformBootstrap(list(range(N)), random.Random(seed))
+    for node in nodes:
+        node.seed_view(bootstrap.initial_view(node.node_id, VIEW))
+    sim = Simulation(network, nodes, random.Random(seed))
+    sim.run(rounds)
+    honest = [node for node in nodes if node.kind is NodeKind.HONEST]
+    pollution = statistics.mean(
+        sum(1 for peer in node.view_ids() if peer in attacker_ids)
+        / max(1, len(node.view_ids()))
+        for node in honest
+    )
+    blacklisted = statistics.mean(
+        len(node.blacklist & attacker_ids) for node in honest
+    )
+    return pollution, blacklisted
+
+
+class TestSecurePs:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SecurePsNode(0, 10, random.Random(0), detection_threshold=1.0)
+
+    def test_benign_network_converges(self):
+        network = Network(random.Random(1))
+        nodes = [SecurePsNode(i, VIEW, random.Random(100 + i)) for i in range(50)]
+        bootstrap = UniformBootstrap(list(range(50)), random.Random(1))
+        for node in nodes:
+            node.seed_view(bootstrap.initial_view(node.node_id, VIEW))
+        sim = Simulation(network, nodes, random.Random(1))
+        sim.run(25)
+        assert statistics.mean(len(node.known) for node in nodes) > 35
+        # No honest node massively blacklisted.
+        assert statistics.mean(len(node.blacklist) for node in nodes) < 3
+
+    def test_concentrated_hub_attacker_gets_blacklisted(self):
+        pollution, blacklisted = run_attack(intensity=10, rounds=50)
+        assert blacklisted > 1  # detector fires on average
+        assert pollution < 0.6  # damage bounded
+
+    def test_sybil_flood_overwhelms_detection(self):
+        """The RAPTEE paper's §VIII claim: the detector cannot identify
+        attackers whose advertisement pressure is spread across many
+        identifiers — the flood wins before any ID looks anomalous."""
+        hub_pollution, hub_blacklisted = run_attack(
+            intensity=10, rounds=50, n_ids=8
+        )
+        flood_pollution, flood_blacklisted = run_attack(
+            intensity=10, rounds=50, n_ids=120
+        )
+        assert flood_blacklisted < hub_blacklisted
+        assert flood_pollution > hub_pollution
+
+    def test_blacklisted_peer_is_refused_service(self):
+        node = SecurePsNode(0, VIEW, random.Random(0))
+        node.seed_view([1, 2, 3])
+        node.blacklist.add(99)
+        assert node.handle_request(
+            ViewExchangeRequest(sender=99, entries=(ViewEntry(5, 0),))
+        ) is None

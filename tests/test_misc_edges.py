@@ -1,0 +1,77 @@
+"""Edge cases across modules that the main suites don't reach."""
+
+import random
+
+import pytest
+
+from repro.crypto.prng import Sha256Prng
+from repro.experiments.figures import FigureResult, Scale
+from repro.sim.network import Network
+from repro.sim.node import NodeKind
+
+
+class TestPrngSeedVariants:
+    def test_bytes_seed(self):
+        assert Sha256Prng(0).getstate() != Sha256Prng(1).getstate()
+        rng = Sha256Prng(0)
+        rng.seed(b"raw bytes seed")
+        first = rng.bytes(8)
+        rng.seed(b"raw bytes seed")
+        assert rng.bytes(8) == first
+
+    def test_string_seed(self):
+        rng = Sha256Prng(0)
+        rng.seed("a string")
+        first = rng.random()
+        rng.seed("a string")
+        assert rng.random() == first
+
+    def test_none_seed_is_deterministic_zero(self):
+        a, b = Sha256Prng(0), Sha256Prng(0)
+        a.seed(None)
+        b.seed(None)
+        assert a.bytes(8) == b.bytes(8)
+
+
+class TestNodeKind:
+    def test_trusted_code_flags(self):
+        assert NodeKind.TRUSTED.runs_trusted_code
+        assert NodeKind.POISONED_TRUSTED.runs_trusted_code
+        assert not NodeKind.HONEST.runs_trusted_code
+        assert not NodeKind.BYZANTINE.runs_trusted_code
+
+    def test_byzantine_flag(self):
+        assert NodeKind.BYZANTINE.is_byzantine
+        assert not NodeKind.POISONED_TRUSTED.is_byzantine
+
+
+class TestNetworkRegistry:
+    def test_unregister_missing_is_noop(self, rng):
+        network = Network(rng)
+        network.unregister(42)  # no error
+
+    def test_node_lookup(self, rng):
+        network = Network(rng)
+        assert network.node(5) is None
+        assert not network.is_reachable(5)
+
+
+class TestFigureResult:
+    def test_column_lookup(self):
+        result = FigureResult("id", headers=["a", "b"], rows=[[1, 2], [3, 4]])
+        assert result.column("b") == [2, 4]
+
+    def test_unknown_column_raises(self):
+        result = FigureResult("id", headers=["a"], rows=[])
+        with pytest.raises(ValueError):
+            result.column("missing")
+
+    def test_render_includes_id(self):
+        result = FigureResult("Fig. X", headers=["a"], rows=[["1"]])
+        assert result.render().startswith("Fig. X")
+
+
+class TestScale:
+    def test_seeds_are_sequential(self):
+        scale = Scale(repetitions=3, base_seed=100)
+        assert scale.seeds() == [100, 101, 102]

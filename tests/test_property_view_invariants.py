@@ -1,0 +1,101 @@
+"""Property-based invariants of the view data structures.
+
+These are the structural guarantees everything above relies on:
+PartialView.select never exceeds capacity or duplicates IDs regardless of
+H/S/buffer, and the trusted swap conserves the view as a multiset
+transformation.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.trusted_exchange import apply_swap, build_offer
+from repro.gossip.partial_view import PartialView, ViewEntry
+
+entries_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=20)),
+    max_size=30,
+).map(lambda pairs: [ViewEntry(node_id, age) for node_id, age in pairs])
+
+
+class TestPartialViewSelectProperties:
+    @given(
+        initial=entries_strategy,
+        buffer=entries_strategy,
+        capacity=st.integers(min_value=1, max_value=15),
+        healer=st.integers(min_value=0, max_value=5),
+        swapper=st.integers(min_value=0, max_value=5),
+        sent=st.integers(min_value=0, max_value=5),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_select_respects_capacity_and_uniqueness(
+        self, initial, buffer, capacity, healer, swapper, sent, seed
+    ):
+        view = PartialView(capacity, initial)
+        view.select(buffer, healer=healer, swapper=swapper, sent_count=sent,
+                    rng=random.Random(seed))
+        ids = view.ids()
+        assert len(ids) <= capacity
+        assert len(ids) == len(set(ids))  # unique by node ID
+
+    @given(
+        initial=entries_strategy,
+        buffer=entries_strategy,
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_select_only_contains_known_ids(self, initial, buffer, seed):
+        view = PartialView(10, initial)
+        before = set(view.ids())
+        view.select(buffer, healer=0, swapper=0, sent_count=0,
+                    rng=random.Random(seed))
+        allowed = before | {entry.node_id for entry in buffer}
+        assert set(view.ids()) <= allowed
+
+    @given(initial=entries_strategy)
+    def test_increase_ages_preserves_ids(self, initial):
+        view = PartialView(40, initial)
+        before = sorted(view.ids())
+        view.increase_ages()
+        assert sorted(view.ids()) == before
+
+
+class TestSwapProperties:
+    view_strategy = st.lists(
+        st.integers(min_value=1, max_value=40), min_size=1, max_size=20
+    )
+
+    @given(view=view_strategy, seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=100, deadline=None)
+    def test_offer_never_exceeds_half_plus_self(self, view, seed):
+        offer = build_offer(view, own_id=999, rng=random.Random(seed), include_self=True)
+        assert len(offer.offered) <= max(1, len(view) // 2)
+        assert offer.offered[-1] == 999  # self link appended
+
+    @given(
+        view=view_strategy,
+        received=st.lists(st.integers(min_value=100, max_value=140), max_size=10),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_swap_length_accounting(self, view, received, seed):
+        offer = build_offer(view, own_id=999, rng=random.Random(seed), include_self=False)
+        new_view = apply_swap(view, offer, tuple(received), own_id=999)
+        removed = len(offer.sent_from_view)
+        added = len([peer for peer in received if peer != 999])
+        assert len(new_view) == len(view) - removed + added
+
+    @given(
+        view=view_strategy,
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_swap_with_empty_reception_only_removes(self, view, seed):
+        offer = build_offer(view, own_id=999, rng=random.Random(seed), include_self=False)
+        new_view = apply_swap(view, offer, (), own_id=999)
+        # Everything left was in the original view.
+        original = list(view)
+        for peer in new_view:
+            original.remove(peer)  # raises if multiset containment violated

@@ -1,0 +1,92 @@
+"""Attestation service tests."""
+
+import pytest
+
+from repro.crypto.prng import Sha256Prng
+from repro.sgx.attestation import AttestationService
+from repro.sgx.enclave import Enclave, SgxDevice, ecall
+from repro.sgx.errors import AttestationError
+from repro.sgx.measurement import Quote
+
+
+class NoopEnclave(Enclave):
+    @ecall
+    def noop(self) -> None:
+        return None
+
+
+@pytest.fixture
+def setup(prng):
+    device = SgxDevice(10, prng.spawn("device"))
+    host = device.load(NoopEnclave)
+    service = AttestationService()
+    service.register_device(10, device.attestation_public_key)
+    service.trust_measurement(host.measurement)
+    return service, device, host
+
+
+class TestVerification:
+    def test_valid_quote_passes(self, setup):
+        service, _device, host = setup
+        service.verify_quote(host.generate_quote(b"data"))
+
+    def test_unknown_device_rejected(self, setup, prng):
+        service, _device, _host = setup
+        rogue_device = SgxDevice(99, prng.spawn("rogue"))
+        rogue_host = rogue_device.load(NoopEnclave)
+        with pytest.raises(AttestationError, match="unknown device"):
+            service.verify_quote(rogue_host.generate_quote(b"data"))
+
+    def test_revoked_device_rejected(self, setup):
+        service, _device, host = setup
+        quote = host.generate_quote(b"data")
+        service.revoke_device(10)
+        with pytest.raises(AttestationError, match="revoked"):
+            service.verify_quote(quote)
+
+    def test_untrusted_measurement_rejected(self, setup):
+        service, device, _host = setup
+
+        class ModifiedEnclave(Enclave):
+            @ecall
+            def noop(self):
+                return None
+
+        modified_host = device.load(ModifiedEnclave)
+        with pytest.raises(AttestationError, match="not trusted"):
+            service.verify_quote(modified_host.generate_quote(b"data"))
+
+    def test_tampered_report_data_rejected(self, setup):
+        service, _device, host = setup
+        quote = host.generate_quote(b"original")
+        forged = Quote(
+            measurement=quote.measurement,
+            report_data=b"forged".ljust(64, b"\x00"),
+            device_id=quote.device_id,
+            signature=quote.signature,
+        )
+        with pytest.raises(AttestationError, match="signature"):
+            service.verify_quote(forged)
+
+    def test_tampered_signature_rejected(self, setup):
+        service, _device, host = setup
+        quote = host.generate_quote(b"data")
+        forged = Quote(
+            measurement=quote.measurement,
+            report_data=quote.report_data,
+            device_id=quote.device_id,
+            signature=bytes([quote.signature[0] ^ 1]) + quote.signature[1:],
+        )
+        with pytest.raises(AttestationError):
+            service.verify_quote(forged)
+
+
+class TestRegistry:
+    def test_double_registration_rejected(self, setup, prng):
+        service, device, _host = setup
+        with pytest.raises(AttestationError, match="already registered"):
+            service.register_device(10, device.attestation_public_key)
+
+    def test_is_trusted_measurement(self, setup):
+        service, _device, host = setup
+        assert service.is_trusted_measurement(host.measurement)

@@ -1,0 +1,110 @@
+"""ECALL boundary, device, measurement, and quote tests."""
+
+import pytest
+
+from repro.crypto.prng import Sha256Prng
+from repro.sgx.enclave import Enclave, EnclaveHost, SgxDevice, ecall
+from repro.sgx.errors import EnclaveViolation
+from repro.sgx.measurement import Measurement, measure_class
+
+
+class CounterEnclave(Enclave):
+    """Test enclave: one ECALL, one private method, private state."""
+
+    def __init__(self, _device):
+        super().__init__(_device)
+        self._count = 0
+        self._secret = b"top secret"
+
+    @ecall
+    def increment(self) -> int:
+        self._count += 1
+        return self._count
+
+    def read_secret(self) -> bytes:
+        return self._secret
+
+
+class OtherEnclave(Enclave):
+    @ecall
+    def noop(self) -> None:
+        return None
+
+
+@pytest.fixture
+def device(prng):
+    return SgxDevice(1, prng.spawn("device"))
+
+
+@pytest.fixture
+def host(device):
+    return device.load(CounterEnclave)
+
+
+class TestEcallBoundary:
+    def test_ecall_is_callable(self, host):
+        assert host.increment() == 1
+        assert host.increment() == 2
+
+    def test_private_method_is_blocked(self, host):
+        with pytest.raises(EnclaveViolation):
+            host.read_secret()
+
+    def test_private_attribute_is_blocked(self, host):
+        with pytest.raises(EnclaveViolation):
+            _ = host._secret
+
+    def test_missing_name_is_blocked(self, host):
+        with pytest.raises(EnclaveViolation):
+            host.does_not_exist()
+
+    def test_writes_are_blocked(self, host):
+        with pytest.raises(EnclaveViolation):
+            host.anything = 1
+
+    def test_ecall_count(self, host):
+        before = host.ecall_count
+        host.increment()
+        host.increment()
+        assert host.ecall_count == before + 2
+
+    def test_load_rejects_non_enclave(self, device):
+        with pytest.raises(TypeError):
+            device.load(object)
+
+
+class TestMeasurement:
+    def test_measurement_is_stable_per_class(self, device):
+        first = device.load(CounterEnclave)
+        second = device.load(CounterEnclave)
+        assert first.measurement == second.measurement
+
+    def test_measurement_differs_per_class(self, device):
+        assert device.load(CounterEnclave).measurement != device.load(OtherEnclave).measurement
+
+    def test_measure_class_versions_differ(self):
+        assert measure_class(CounterEnclave, "1") != measure_class(CounterEnclave, "2")
+
+    def test_measurement_requires_32_bytes(self):
+        with pytest.raises(ValueError):
+            Measurement(b"short")
+
+
+class TestQuotes:
+    def test_quote_carries_report_data(self, host):
+        quote = host.generate_quote(b"bound data")
+        assert quote.report_data.startswith(b"bound data")
+        assert len(quote.report_data) == 64
+
+    def test_quote_signature_verifies_with_device_key(self, device, host):
+        quote = host.generate_quote(b"data")
+        assert device.attestation_public_key.verify(quote.signed_payload(), quote.signature)
+
+    def test_oversized_report_data_rejected(self, host):
+        with pytest.raises(ValueError):
+            host.generate_quote(b"x" * 65)
+
+    def test_two_devices_have_distinct_keys(self, prng):
+        a = SgxDevice(1, prng.spawn("a"))
+        b = SgxDevice(2, prng.spawn("b"))
+        assert a.attestation_public_key != b.attestation_public_key

@@ -1,0 +1,133 @@
+"""Group-key provisioning and the Table-I cycle model."""
+
+import random
+
+import pytest
+
+from repro.crypto.prng import Sha256Prng
+from repro.crypto.rsa import generate_keypair
+from repro.sgx.attestation import AttestationService
+from repro.sgx.cycles import (
+    CycleAccountant,
+    CycleModel,
+    FunctionCost,
+    PeerSamplingFunction,
+    TABLE_I,
+)
+from repro.sgx.enclave import Enclave, SgxDevice, ecall, report_data_binding
+from repro.sgx.errors import ProvisioningError
+from repro.sgx.provisioning import GroupKeyProvisioner
+
+
+class NoopEnclave(Enclave):
+    @ecall
+    def noop(self):
+        return None
+
+
+@pytest.fixture
+def provisioning_setup(prng):
+    device = SgxDevice(5, prng.spawn("dev"))
+    host = device.load(NoopEnclave)
+    service = AttestationService()
+    service.register_device(5, device.attestation_public_key)
+    service.trust_measurement(host.measurement)
+    provisioner = GroupKeyProvisioner(service, b"G" * 16, prng.spawn("prov"))
+    keypair = generate_keypair(384, prng.spawn("ekey"))
+    return host, provisioner, keypair
+
+
+class TestProvisioning:
+    def test_happy_path(self, provisioning_setup):
+        host, provisioner, keypair = provisioning_setup
+        quote = host.generate_quote(report_data_binding(keypair.public))
+        ciphertext = provisioner.provision(quote, keypair.public)
+        assert keypair.private.decrypt(ciphertext) == b"G" * 16
+        assert provisioner.provisioned_count == 1
+
+    def test_unbound_key_rejected(self, provisioning_setup, prng):
+        host, provisioner, _keypair = provisioning_setup
+        quote = host.generate_quote(b"not a key binding")
+        other = generate_keypair(384, prng.spawn("other"))
+        with pytest.raises(ProvisioningError, match="not bound"):
+            provisioner.provision(quote, other.public)
+
+    def test_failed_attestation_rejected(self, provisioning_setup, prng):
+        _host, provisioner, keypair = provisioning_setup
+        rogue_device = SgxDevice(66, prng.spawn("rogue"))
+        rogue_host = rogue_device.load(NoopEnclave)
+        quote = rogue_host.generate_quote(report_data_binding(keypair.public))
+        with pytest.raises(ProvisioningError, match="attestation failed"):
+            provisioner.provision(quote, keypair.public)
+
+    def test_group_key_must_be_16_bytes(self, provisioning_setup, prng):
+        with pytest.raises(ValueError):
+            GroupKeyProvisioner(AttestationService(), b"short", prng)
+
+
+class TestCycleModel:
+    def test_table_i_values_match_paper(self):
+        pull = TABLE_I[PeerSamplingFunction.PULL_REQUEST]
+        assert (pull.standard, pull.sgx) == (15_623, 18_593)
+        assert pull.mean_overhead == 2_970
+        push = TABLE_I[PeerSamplingFunction.PUSH_MESSAGE]
+        assert (push.standard, push.sgx, push.mean_overhead) == (7_521, 9_182, 1_661)
+        trusted = TABLE_I[PeerSamplingFunction.TRUSTED_COMMUNICATIONS]
+        assert trusted.mean_overhead == 1_671
+        sample = TABLE_I[PeerSamplingFunction.SAMPLE_LIST_COMPUTATION]
+        assert sample.mean_overhead == 2_340
+        view = TABLE_I[PeerSamplingFunction.DYNAMIC_VIEW_COMPUTATION]
+        assert view.mean_overhead == 2_619
+
+    def test_untrusted_cost_is_standard(self):
+        model = CycleModel()
+        rng = random.Random(0)
+        cost = model.sample_cycles(PeerSamplingFunction.PUSH_MESSAGE, False, rng)
+        assert cost == TABLE_I[PeerSamplingFunction.PUSH_MESSAGE].standard
+
+    def test_trusted_cost_within_gaussian_envelope(self):
+        model = CycleModel()
+        rng = random.Random(0)
+        reference = TABLE_I[PeerSamplingFunction.PULL_REQUEST]
+        samples = [
+            model.sample_cycles(PeerSamplingFunction.PULL_REQUEST, True, rng)
+            for _ in range(500)
+        ]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - reference.sgx) < reference.overhead_std * 2
+        assert all(cost >= reference.standard for cost in samples)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(KeyError):
+            CycleModel().function_cost("no_such_function")
+
+    def test_accountant_aggregates(self):
+        accountant = CycleAccountant(CycleModel(), random.Random(1))
+        for _ in range(10):
+            accountant.charge(PeerSamplingFunction.PUSH_MESSAGE, trusted=False)
+        assert accountant.invocations[PeerSamplingFunction.PUSH_MESSAGE] == 10
+        assert accountant.mean_cost(PeerSamplingFunction.PUSH_MESSAGE) == pytest.approx(
+            TABLE_I[PeerSamplingFunction.PUSH_MESSAGE].standard
+        )
+
+    def test_accountant_force_standard(self):
+        accountant = CycleAccountant(CycleModel(), random.Random(1), force_standard=True)
+        accountant.charge(PeerSamplingFunction.PULL_REQUEST, trusted=True)
+        assert accountant.total_cycles == TABLE_I[PeerSamplingFunction.PULL_REQUEST].standard
+
+    def test_accountant_mean_requires_invocations(self):
+        accountant = CycleAccountant(CycleModel(), random.Random(1))
+        with pytest.raises(ValueError):
+            accountant.mean_cost(PeerSamplingFunction.PULL_REQUEST)
+
+    def test_accountant_reset(self):
+        accountant = CycleAccountant(CycleModel(), random.Random(1))
+        accountant.charge(PeerSamplingFunction.PULL_REQUEST, trusted=True)
+        accountant.reset()
+        assert accountant.total_cycles == 0.0
+        assert not accountant.invocations
+
+    def test_function_cost_validation(self):
+        cost = FunctionCost(100, 120, 0.05)
+        assert cost.mean_overhead == 20
+        assert cost.overhead_std == pytest.approx(1.0)

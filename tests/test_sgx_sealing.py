@@ -1,0 +1,79 @@
+"""Sealed storage tests."""
+
+import pytest
+
+from repro.crypto.prng import Sha256Prng
+from repro.sgx.enclave import Enclave, SgxDevice, ecall
+from repro.sgx.errors import SealingError
+from repro.sgx.measurement import measure_class
+from repro.sgx.sealing import seal, unseal
+
+NONCE = b"\x07" * 8
+
+
+class SealTestEnclave(Enclave):
+    @ecall
+    def noop(self):
+        return None
+
+
+class OtherEnclave(Enclave):
+    @ecall
+    def noop(self):
+        return None
+
+
+@pytest.fixture
+def device(prng):
+    return SgxDevice(3, prng.spawn("sealdev"))
+
+
+@pytest.fixture
+def measurement():
+    return measure_class(SealTestEnclave)
+
+
+class TestSealing:
+    def test_roundtrip(self, device, measurement):
+        blob = seal(device, measurement, b"the group key!!!", NONCE)
+        assert unseal(device, measurement, blob) == b"the group key!!!"
+
+    def test_empty_payload(self, device, measurement):
+        blob = seal(device, measurement, b"", NONCE)
+        assert unseal(device, measurement, blob) == b""
+
+    def test_blob_is_not_plaintext(self, device, measurement):
+        secret = b"super secret data"
+        blob = seal(device, measurement, secret, NONCE)
+        assert secret not in blob
+
+    def test_tampered_blob_rejected(self, device, measurement):
+        blob = bytearray(seal(device, measurement, b"data", NONCE))
+        blob[10] ^= 0xFF
+        with pytest.raises(SealingError):
+            unseal(device, measurement, bytes(blob))
+
+    def test_truncated_blob_rejected(self, device, measurement):
+        with pytest.raises(SealingError):
+            unseal(device, measurement, b"tiny")
+
+    def test_wrong_device_cannot_unseal(self, device, measurement, prng):
+        blob = seal(device, measurement, b"data", NONCE)
+        other_device = SgxDevice(4, prng.spawn("other"))
+        with pytest.raises(SealingError):
+            unseal(other_device, measurement, blob)
+
+    def test_wrong_measurement_cannot_unseal(self, device, measurement):
+        blob = seal(device, measurement, b"data", NONCE)
+        other_measurement = measure_class(OtherEnclave)
+        with pytest.raises(SealingError):
+            unseal(device, other_measurement, blob)
+
+    def test_bad_nonce_size_rejected(self, device, measurement):
+        with pytest.raises(SealingError):
+            seal(device, measurement, b"data", b"short")
+
+    def test_distinct_nonces_give_distinct_blobs(self, device, measurement):
+        first = seal(device, measurement, b"data", b"\x01" * 8)
+        second = seal(device, measurement, b"data", b"\x02" * 8)
+        assert first != second

@@ -1,0 +1,183 @@
+"""Engine, churn, bootstrap, and observer tests."""
+
+import random
+from typing import Optional
+
+import pytest
+
+from repro.sim.bootstrap import UniformBootstrap
+from repro.sim.churn import CatastrophicFailure, NoChurn, UniformChurn
+from repro.sim.engine import Observer, Simulation
+from repro.sim.messages import Message
+from repro.sim.network import Network
+from repro.sim.node import NodeBase, NodeKind
+from repro.sim.observers import DiscoveryObserver, ViewTraceObserver
+
+
+class PhaseRecorder(NodeBase):
+    """Records the engine's phase calls."""
+
+    def __init__(self, node_id, log):
+        super().__init__(node_id, NodeKind.HONEST)
+        self.log = log
+        self._view = []
+
+    def begin_round(self, ctx):
+        self.log.append(("begin", self.node_id, ctx.round_number))
+
+    def gossip(self, ctx):
+        self.log.append(("gossip", self.node_id, ctx.round_number))
+
+    def end_round(self, ctx):
+        self.log.append(("end", self.node_id, ctx.round_number))
+
+    def handle_request(self, message: Message) -> Optional[Message]:
+        return None
+
+    def view_ids(self):
+        return list(self._view)
+
+    def known_ids(self):
+        return list(self._view)
+
+    def seed_view(self, ids):
+        self._view = list(ids)
+
+
+def make_sim(n=4, churn=None, factory=None, seed=0):
+    log = []
+    network = Network(random.Random(seed))
+    nodes = [PhaseRecorder(i, log) for i in range(n)]
+    sim = Simulation(network, nodes, random.Random(seed), churn=churn, node_factory=factory)
+    return sim, log
+
+
+class TestPhases:
+    def test_all_phases_run_in_order(self):
+        sim, log = make_sim(n=3)
+        sim.run_round()
+        phases = [entry[0] for entry in log]
+        assert phases[:3] == ["begin"] * 3
+        assert phases[3:6] == ["gossip"] * 3
+        assert phases[6:] == ["end"] * 3
+
+    def test_round_number_increments(self):
+        sim, _log = make_sim()
+        sim.run_round()
+        sim.run_round()
+        assert sim.round_number == 2
+
+    def test_observers_called_each_round(self):
+        sim, _log = make_sim()
+
+        class CountingObserver(Observer):
+            def __init__(self):
+                self.calls = 0
+
+            def on_round_end(self, simulation):
+                self.calls += 1
+
+        observer = CountingObserver()
+        sim.run(5, observers=[observer])
+        assert observer.calls == 5
+
+
+class TestMembership:
+    def test_kind_queries(self):
+        sim, _log = make_sim(n=3)
+        assert len(sim.ids_of_kind(NodeKind.HONEST)) == 3
+        assert sim.byzantine_ids == frozenset()
+        assert sim.correct_node_ids() == {0, 1, 2}
+
+    def test_remove_node(self):
+        sim, _log = make_sim(n=3)
+        sim.remove_node(1)
+        assert 1 not in sim.correct_node_ids()
+        assert len(sim.alive_nodes()) == 2
+
+    def test_kind_cache_invalidation(self):
+        sim, log = make_sim(n=3)
+        assert len(sim.ids_of_kind(NodeKind.HONEST)) == 3
+        sim.add_node(PhaseRecorder(10, log))
+        assert len(sim.ids_of_kind(NodeKind.HONEST)) == 4
+
+
+class TestChurn:
+    def test_no_churn_keeps_membership(self):
+        sim, _log = make_sim(n=5, churn=NoChurn())
+        sim.run(3)
+        assert len(sim.alive_nodes()) == 5
+
+    def test_catastrophic_failure(self):
+        sim, _log = make_sim(n=10, churn=CatastrophicFailure(at_round=2, fraction=0.5))
+        sim.run(3)
+        assert len(sim.alive_nodes()) == 5
+
+    def test_uniform_churn_arrivals_need_factory(self):
+        sim, _log = make_sim(n=5, churn=UniformChurn(leave_rate=0.0, join_rate=0.5))
+        with pytest.raises(RuntimeError):
+            sim.run_round()
+
+    def test_uniform_churn_with_factory_grows(self):
+        log = []
+        sim, _ = make_sim(
+            n=4,
+            churn=UniformChurn(leave_rate=0.0, join_rate=0.5),
+            factory=lambda node_id: PhaseRecorder(node_id, log),
+        )
+        sim.run_round()
+        assert len(sim.alive_nodes()) == 6
+
+    def test_churn_validation(self):
+        with pytest.raises(ValueError):
+            UniformChurn(leave_rate=1.0, join_rate=0.0)
+        with pytest.raises(ValueError):
+            CatastrophicFailure(at_round=1, fraction=1.5)
+
+
+class TestBootstrap:
+    def test_excludes_self(self):
+        bootstrap = UniformBootstrap(list(range(10)), random.Random(0))
+        for _ in range(20):
+            view = bootstrap.initial_view(3, 5)
+            assert 3 not in view
+            assert len(view) == 5
+
+    def test_small_membership_returns_everyone_else(self):
+        bootstrap = UniformBootstrap([0, 1, 2], random.Random(0))
+        assert sorted(bootstrap.initial_view(0, 10)) == [1, 2]
+
+    def test_empty_membership_rejected(self):
+        with pytest.raises(ValueError):
+            UniformBootstrap([], random.Random(0))
+
+
+class TestObservers:
+    def test_view_trace_records_fractions(self):
+        sim, _log = make_sim(n=3)
+        for node in sim.nodes.values():
+            node.seed_view([0, 1, 2])
+        trace = ViewTraceObserver()
+        sim.run(2, observers=[trace])
+        assert len(trace.records) == 2
+        record = trace.records[-1]
+        assert set(record.byzantine_fraction) == {0, 1, 2}
+        assert record.mean_byzantine_fraction == 0.0
+
+    def test_discovery_observer_thresholds(self):
+        sim, _log = make_sim(n=4)
+        for node in sim.nodes.values():
+            node.seed_view([0, 1, 2, 3])  # everyone knows everyone
+        discovery = DiscoveryObserver(threshold=0.75)
+        sim.run(1, observers=[discovery])
+        assert discovery.all_discovered_round(sim) == 1
+
+    def test_discovery_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DiscoveryObserver(threshold=0.0)
+
+    def test_discovery_not_reached_returns_minus_one(self):
+        sim, _log = make_sim(n=4)
+        discovery = DiscoveryObserver(threshold=0.9)
+        sim.run(1, observers=[discovery])
+        assert discovery.all_discovered_round(sim) == -1

@@ -1,0 +1,71 @@
+"""Message dataclasses and framework aging behaviour."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.gossip.cyclon import CyclonNode
+from repro.sim.bootstrap import UniformBootstrap
+from repro.sim.engine import Simulation
+from repro.sim.messages import (
+    AuthChallenge,
+    AuthResponse,
+    PullReply,
+    PullRequest,
+    Push,
+    TrustedSwapRequest,
+)
+from repro.sim.network import Network
+
+
+class TestMessages:
+    def test_messages_are_frozen(self):
+        message = Push(sender=1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            message.sender = 2
+
+    def test_pull_reply_defaults_empty(self):
+        assert PullReply(sender=1).ids == ()
+
+    def test_equality_by_value(self):
+        assert PullRequest(sender=3) == PullRequest(sender=3)
+        assert AuthChallenge(sender=1, r_a=b"x") != AuthChallenge(sender=1, r_a=b"y")
+
+    def test_auth_response_fields(self):
+        response = AuthResponse(sender=2, r_b=b"n" * 16, proof=b"p" * 32)
+        assert response.r_b == b"n" * 16
+        assert len(response.proof) == 32
+
+    def test_swap_request_carries_offer(self):
+        request = TrustedSwapRequest(sender=5, offered=(1, 2, 3))
+        assert request.offered == (1, 2, 3)
+
+
+class TestFrameworkAging:
+    def test_ages_advance_each_cycle(self):
+        """Entries not refreshed by exchanges grow older every round."""
+        network = Network(random.Random(0))
+        nodes = [CyclonNode(i, 6, random.Random(i)) for i in range(12)]
+        bootstrap = UniformBootstrap(list(range(12)), random.Random(0))
+        for node in nodes:
+            node.seed_view(bootstrap.initial_view(node.node_id, 6))
+        sim = Simulation(network, nodes, random.Random(0))
+        sim.run(5)
+        # After 5 cycles, every node's view holds aged entries but none
+        # impossibly old (the oldest-first probing refreshes the tail).
+        for node in nodes:
+            ages = [entry.age for entry in node.view.entries()]
+            assert ages, "views must not be empty"
+            assert all(0 <= age <= 6 for age in ages)
+
+    def test_self_never_in_own_view(self):
+        network = Network(random.Random(0))
+        nodes = [CyclonNode(i, 6, random.Random(i)) for i in range(12)]
+        bootstrap = UniformBootstrap(list(range(12)), random.Random(0))
+        for node in nodes:
+            node.seed_view(bootstrap.initial_view(node.node_id, 6))
+        sim = Simulation(network, nodes, random.Random(0))
+        sim.run(10)
+        for node in nodes:
+            assert node.node_id not in node.view_ids()

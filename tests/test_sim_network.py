@@ -1,0 +1,132 @@
+"""Network transport tests."""
+
+import random
+from typing import List, Optional
+
+import pytest
+
+from repro.sim.messages import Message, PullReply, PullRequest
+from repro.sim.network import Network
+from repro.sim.node import NodeBase, NodeKind
+
+
+class EchoNode(NodeBase):
+    """Records pushes; answers pull requests with a fixed view."""
+
+    def __init__(self, node_id: int, view=(1, 2, 3)):
+        super().__init__(node_id, NodeKind.HONEST)
+        self.pushes: List[int] = []
+        self._view = list(view)
+
+    def on_push(self, sender_id: int) -> None:
+        self.pushes.append(sender_id)
+
+    def handle_request(self, message: Message) -> Optional[Message]:
+        if isinstance(message, PullRequest):
+            return PullReply(sender=self.node_id, ids=tuple(self._view))
+        return None
+
+    def view_ids(self):
+        return list(self._view)
+
+    def known_ids(self):
+        return list(self._view)
+
+    def seed_view(self, ids):
+        self._view = list(ids)
+
+    def gossip(self, ctx):
+        return None
+
+
+@pytest.fixture
+def network(rng):
+    return Network(rng)
+
+
+class TestDelivery:
+    def test_push_delivery(self, network):
+        a, b = EchoNode(1), EchoNode(2)
+        network.register(a)
+        network.register(b)
+        assert network.send_push(1, 2)
+        assert b.pushes == [1]
+        assert network.stats.pushes_delivered == 1
+
+    def test_push_to_unknown_node_is_lost(self, network):
+        network.register(EchoNode(1))
+        assert not network.send_push(1, 99)
+        assert network.stats.messages_lost == 1
+
+    def test_push_to_dead_node_is_lost(self, network):
+        a, b = EchoNode(1), EchoNode(2)
+        network.register(a)
+        network.register(b)
+        b.alive = False
+        assert not network.send_push(1, 2)
+
+    def test_request_reply(self, network):
+        a, b = EchoNode(1), EchoNode(2, view=(7, 8))
+        network.register(a)
+        network.register(b)
+        reply = network.request(1, 2, PullRequest(sender=1))
+        assert isinstance(reply, PullReply)
+        assert reply.ids == (7, 8)
+
+    def test_request_to_dead_node_returns_none(self, network):
+        a, b = EchoNode(1), EchoNode(2)
+        network.register(a)
+        network.register(b)
+        b.alive = False
+        assert network.request(1, 2, PullRequest(sender=1)) is None
+
+    def test_duplicate_registration_rejected(self, network):
+        network.register(EchoNode(1))
+        with pytest.raises(ValueError):
+            network.register(EchoNode(1))
+
+    def test_per_round_push_accounting(self, network):
+        a, b = EchoNode(1), EchoNode(2)
+        network.register(a)
+        network.register(b)
+        network.current_round = 3
+        network.send_push(1, 2)
+        network.send_push(1, 2)
+        assert network.stats.per_round_pushes[3] == 2
+
+
+class TestLoss:
+    def test_loss_rate_validation(self, rng):
+        with pytest.raises(ValueError):
+            Network(rng, loss_rate=1.0)
+
+    def test_lossy_network_drops_messages(self):
+        network = Network(random.Random(1), loss_rate=0.5)
+        a, b = EchoNode(1), EchoNode(2)
+        network.register(a)
+        network.register(b)
+        delivered = sum(network.send_push(1, 2) for _ in range(400))
+        assert 120 < delivered < 280  # ≈ 200 ± tolerance
+
+    def test_lossless_network_delivers_everything(self, network):
+        a, b = EchoNode(1), EchoNode(2)
+        network.register(a)
+        network.register(b)
+        assert all(network.send_push(1, 2) for _ in range(50))
+
+
+class TestEncryptedTransport:
+    def test_requests_roundtrip_through_encryption(self, rng):
+        network = Network(rng, encrypt=True, transport_secret=b"s" * 16)
+        a, b = EchoNode(1), EchoNode(2, view=(4, 5, 6))
+        network.register(a)
+        network.register(b)
+        reply = network.request(1, 2, PullRequest(sender=1))
+        assert isinstance(reply, PullReply)
+        assert reply.ids == (4, 5, 6)
+        assert network.stats.bytes_encrypted > 0
+
+    def test_pair_keys_are_symmetric_and_distinct(self, rng):
+        network = Network(rng, encrypt=True, transport_secret=b"s" * 16)
+        assert network._pair_key(1, 2) == network._pair_key(2, 1)
+        assert network._pair_key(1, 2) != network._pair_key(1, 3)
