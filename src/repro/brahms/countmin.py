@@ -116,7 +116,7 @@ class StreamUnbiaser:
         """Return a frequency-flattened sub-sample of ``ids``."""
         if not ids:
             return []
-        estimates = {item: max(1, self._sketch.estimate(item)) for item in set(ids)}
+        estimates = {item: max(1, self._sketch.estimate(item)) for item in sorted(set(ids))}
         floor = min(estimates.values())
         kept = [
             item for item in ids

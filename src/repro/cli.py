@@ -7,13 +7,16 @@ Three commands cover the common workflows:
 * ``figure`` — regenerate one paper table/figure (scaled topology) and
   print its rows;
 * ``attack`` — run the §VI-A trusted-node identification attack and print
-  precision/recall/F1.
+  precision/recall/F1;
+* ``lint`` — run the :mod:`repro.lint` invariant checks (determinism,
+  enclave boundary, crypto hygiene, sim purity).
 
 Examples::
 
     python -m repro run --protocol raptee --nodes 300 --f 0.1 --t 0.1
     python -m repro figure fig9 --scale test
     python -m repro attack --f 0.2 --t 0.2 --eviction 1.0
+    python -m repro lint src tests --format json
 """
 
 from __future__ import annotations
@@ -101,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
     attack_parser.add_argument("--view-ratio", type=float, default=0.08)
     attack_parser.add_argument("--eviction", type=parse_eviction, default=AdaptiveEviction())
 
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the static invariant checks (see repro.lint)"
+    )
+    lint_parser.add_argument(
+        "lint_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.lint",
+    )
+
     return parser
 
 
@@ -177,9 +188,20 @@ def _command_attack(args) -> int:
     return 0
 
 
+def _command_lint(args) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args.lint_args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"run": _command_run, "figure": _command_figure, "attack": _command_attack}
+    handlers = {
+        "run": _command_run,
+        "figure": _command_figure,
+        "attack": _command_attack,
+        "lint": _command_lint,
+    }
     return handlers[args.command](args)
 
 

@@ -15,10 +15,13 @@ batch-evaluate it with numpy.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.crypto.hashing import int_digest
+
+if TYPE_CHECKING:
+    import random  # annotation-only: the family draw rng is always injected
 
 __all__ = [
     "MinWiseHash",

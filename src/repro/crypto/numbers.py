@@ -6,7 +6,7 @@ keeps key generation reproducible inside the simulator.
 
 from __future__ import annotations
 
-import random
+import random  # lint: disable=crypto-stdlib-random -- Miller-Rabin witness fallback is seeded from n, never from global state
 from typing import Optional
 
 __all__ = [

@@ -14,9 +14,11 @@ already grants that Byzantine nodes cannot break the primitives).
 from __future__ import annotations
 
 import hashlib
-import random
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
+
+if TYPE_CHECKING:
+    import random  # annotation-only: callers inject the rng (usually Sha256Prng)
 
 from repro.crypto.numbers import generate_prime, modular_inverse
 

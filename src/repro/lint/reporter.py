@@ -1,0 +1,73 @@
+"""Finding reporters (text / JSON) and the baseline mechanism.
+
+A *baseline* freezes the currently-known findings so a newly introduced rule
+can land without blocking CI on legacy violations: ``--write-baseline``
+records every current finding's fingerprint, and later runs with
+``--baseline`` drop findings whose fingerprint is already recorded.  New
+violations — anything not in the baseline — still fail the run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.lint.core import Finding, Severity
+
+__all__ = [
+    "render_text",
+    "render_json",
+    "write_baseline",
+    "load_baseline",
+    "apply_baseline",
+]
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report, one finding per line plus a summary."""
+    if not findings:
+        return "repro.lint: no findings"
+    lines = [finding.format_text() for finding in findings]
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.severity.name.lower()] = counts.get(finding.severity.name.lower(), 0) + 1
+    summary = ", ".join(f"{count} {name}" for name, count in sorted(counts.items()))
+    lines.append(f"repro.lint: {len(findings)} finding(s) ({summary})")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report: ``{"findings": [...], "count": N}``."""
+    payload = {
+        "findings": [finding.to_dict() for finding in findings],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def write_baseline(findings: Iterable[Finding], path: str) -> None:
+    """Record finding fingerprints so later runs can ignore them."""
+    fingerprints = sorted({finding.fingerprint() for finding in findings})
+    payload = {
+        "baseline": [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in fingerprints
+        ]
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> Set[Tuple[str, str, str]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    fingerprints: Set[Tuple[str, str, str]] = set()
+    for entry in payload.get("baseline", []):
+        fingerprints.add((entry["rule"], entry["path"], entry["message"]))
+    return fingerprints
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Set[Tuple[str, str, str]]) -> List[Finding]:
+    """Drop findings whose fingerprint is recorded in the baseline."""
+    return [finding for finding in findings if finding.fingerprint() not in baseline]

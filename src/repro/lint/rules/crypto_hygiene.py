@@ -1,0 +1,172 @@
+"""Crypto-hygiene rules.
+
+The auth handshake (§IV-A) and attestation pipeline compare MACs, digests
+and key bindings; RAPTEE's trusted nodes derive key material inside the
+enclave.  These rules enforce the two habits that keep the emulation
+faithful: secret-bearing comparisons are constant-time
+(:func:`repro.crypto.hashing.constant_time_equal`), and key/nonce
+randomness never touches the stdlib ``random`` module or weak hashes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.core import Finding, ModuleInfo, Rule, Severity, register_rule
+
+__all__ = ["StdlibRandomImportRule", "DigestCompareRule", "WeakHashRule"]
+
+#: Call results that are digests / MACs / signatures.
+_DIGEST_FUNCS = frozenset({"sha256", "hmac_sha256", "concat_hash", "hkdf"})
+_DIGEST_METHODS = frozenset({"digest", "hexdigest", "sign"})
+#: Identifier suffixes that name secret-bearing byte strings.
+_SECRET_SEGMENTS = frozenset({"digest", "digests", "mac", "hmac", "tag", "signature", "sig"})
+
+
+@register_rule
+class StdlibRandomImportRule(Rule):
+    """No runtime ``import random`` in trusted / crypto modules."""
+
+    rule_id = "crypto-stdlib-random"
+    description = "module-scope import of stdlib random in sgx/ or crypto/"
+    rationale = (
+        "Key material generated next to `import random` invites a one-line "
+        "mistake that swaps the seeded Sha256Prng for the Mersenne Twister. "
+        "Trusted code annotates and draws from Sha256Prng; annotation-only "
+        "imports go under `if TYPE_CHECKING:` or carry a justified "
+        "suppression."
+    )
+    severity = Severity.ERROR
+    scope = ("repro/sgx", "repro/crypto")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if node.lineno in module.type_checking:
+                continue
+            if isinstance(node, ast.Import):
+                if any(alias.name.split(".")[0] == "random" for alias in node.names):
+                    yield self.finding(
+                        module, node,
+                        "stdlib random imported at module scope in "
+                        "trusted/crypto code; route randomness through "
+                        "repro.crypto.prng.Sha256Prng (gate annotation-only "
+                        "imports under TYPE_CHECKING)",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module == "random":
+                yield self.finding(
+                    module, node,
+                    "stdlib random imported at module scope in trusted/"
+                    "crypto code; route randomness through Sha256Prng",
+                )
+
+
+def _terminal_identifier(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _looks_like_digest(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _DIGEST_FUNCS:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _DIGEST_METHODS:
+            return True
+        return False
+    identifier = _terminal_identifier(node)
+    if identifier is None:
+        return False
+    lowered = identifier.lower()
+    segments = lowered.split("_")
+    return segments[-1] in _SECRET_SEGMENTS or lowered.endswith("digest")
+
+
+@register_rule
+class DigestCompareRule(Rule):
+    """Digest/MAC equality must use ``constant_time_equal``."""
+
+    rule_id = "crypto-digest-compare"
+    description = "== / != on digest, MAC or signature bytes"
+    rationale = (
+        "bytes.__eq__ short-circuits on the first mismatch, leaking how "
+        "much of a MAC an adversary guessed; the §IV-A handshake proof "
+        "checks must use repro.crypto.hashing.constant_time_equal."
+    )
+    severity = Severity.ERROR
+    scope = ("repro",)
+    exempt = ("repro/lint",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            # `digest is None` checks and membership tests are fine.
+            if any(isinstance(op, ast.Constant) and op.value is None for op in operands):
+                continue
+            if any(_looks_like_digest(operand) for operand in operands):
+                yield self.finding(
+                    module, node,
+                    "digest/MAC comparison with ==; use "
+                    "repro.crypto.hashing.constant_time_equal to avoid a "
+                    "timing side channel",
+                )
+
+
+@register_rule
+class WeakHashRule(Rule):
+    """No MD5 / SHA-1 anywhere."""
+
+    rule_id = "crypto-weak-hash"
+    description = "use of a broken hash (md5, sha1)"
+    rationale = (
+        "Measurements, samplers and the handshake all assume collision "
+        "resistance; MD5 and SHA-1 provide neither.  SHA-256 is the "
+        "project-wide hash (repro.crypto.hashing)."
+    )
+    severity = Severity.ERROR
+    scope = ()  # everywhere, including tests
+
+    _WEAK = frozenset({"md5", "sha1"})
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        hashlib_aliases = module.import_aliases("hashlib")
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "hashlib":
+                weak = [a.name for a in node.names if a.name in self._WEAK]
+                if weak:
+                    yield self.finding(
+                        module, node,
+                        f"from hashlib import {', '.join(weak)}: broken "
+                        f"hash; use sha256",
+                    )
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in hashlib_aliases
+            ):
+                if func.attr in self._WEAK:
+                    yield self.finding(
+                        module, node,
+                        f"hashlib.{func.attr}() is collision-broken; use sha256",
+                    )
+                elif (
+                    func.attr == "new"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and str(node.args[0].value).lower() in self._WEAK
+                ):
+                    yield self.finding(
+                        module, node,
+                        f"hashlib.new({node.args[0].value!r}) selects a "
+                        f"broken hash; use sha256",
+                    )

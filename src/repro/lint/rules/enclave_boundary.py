@@ -1,0 +1,168 @@
+"""Enclave-boundary rules.
+
+The emulation models exactly one SGX property (DESIGN.md): *untrusted code
+enters the enclave only through declared ECALLs*.  At runtime
+:class:`~repro.sgx.enclave.EnclaveHost` enforces that with ``__getattr__``,
+but Python offers plenty of side doors (``object.__getattribute__``,
+importing enclave internals, reading ``_``-prefixed state).  These rules
+close them at review time.  ReplicaTEE and Proteus both report that TEE
+systems fail *silently* when the trusted/untrusted boundary is crossed by
+accident — the bug class these rules exist for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.core import Finding, ModuleInfo, Rule, Severity, register_rule
+
+__all__ = [
+    "EnclavePrivateAccessRule",
+    "EnclaveInternalImportRule",
+    "EnclaveBoundaryBypassRule",
+]
+
+#: Modules allowed to touch enclave internals: the TCB itself plus tests
+#: (the Enclave docstring explicitly grants tests direct construction).
+TRUSTED_PATHS: Tuple[str, ...] = (
+    "repro/sgx",
+    "repro/core/enclave.py",
+    "repro/lint",
+    "tests",
+)
+
+#: Names importable from the enclave modules by untrusted code.  Everything
+#: else (``sealing_key_for``, ``_``-prefixed helpers) is TCB-internal.
+_ENCLAVE_MODULES = ("repro.sgx.enclave", "repro.core.enclave")
+_INTERNAL_NAMES = frozenset({"sealing_key_for"})
+
+
+def _is_enclaveish_name(identifier: str) -> bool:
+    return "enclave" in identifier.lower()
+
+
+@register_rule
+class EnclavePrivateAccessRule(Rule):
+    """No reads of ``_``-prefixed state on enclave objects outside the TCB."""
+
+    rule_id = "enclave-private-access"
+    description = "access to _-prefixed enclave state outside the TCB"
+    rationale = (
+        "Enclave state is unreachable from untrusted code on real SGX; "
+        "reading it in the emulation silently models an impossible attack "
+        "path and voids the Byzantine-resilience claims."
+    )
+    severity = Severity.ERROR
+    scope = ()
+    exempt = TRUSTED_PATHS
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            attr = node.attr
+            if not attr.startswith("_") or attr.startswith("__"):
+                continue
+            base = node.value
+            # host._enclave is the raw reference EnclaveHost guards; any
+            # attribute chain ending there is a boundary crossing.
+            if attr == "_enclave":
+                yield self.finding(
+                    module, node,
+                    "._enclave reaches the raw enclave object behind the "
+                    "host; call an @ecall method instead",
+                )
+                continue
+            if (
+                isinstance(base, ast.Name)
+                and base.id != "self"
+                and _is_enclaveish_name(base.id)
+            ):
+                yield self.finding(
+                    module, node,
+                    f"{base.id}.{attr} reads enclave-private state; only "
+                    f"@ecall methods cross the boundary",
+                )
+
+
+@register_rule
+class EnclaveInternalImportRule(Rule):
+    """No imports of enclave internals outside the TCB."""
+
+    rule_id = "enclave-internal-import"
+    description = "import of enclave-internal helpers outside the TCB"
+    rationale = (
+        "sealing_key_for and _-prefixed helpers exist for repro.sgx only; "
+        "importing them elsewhere clones sealing keys outside the enclave."
+    )
+    severity = Severity.ERROR
+    scope = ()
+    exempt = TRUSTED_PATHS
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ImportFrom) or node.module not in _ENCLAVE_MODULES:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    yield self.finding(
+                        module, node,
+                        f"star-import from {node.module} drags enclave "
+                        f"internals across the boundary",
+                    )
+                elif alias.name.startswith("_") or alias.name in _INTERNAL_NAMES:
+                    yield self.finding(
+                        module, node,
+                        f"{node.module}.{alias.name} is TCB-internal and "
+                        f"must not be imported by untrusted code",
+                    )
+
+
+@register_rule
+class EnclaveBoundaryBypassRule(Rule):
+    """No reflection tricks that defeat the EnclaveHost guard."""
+
+    rule_id = "enclave-boundary-bypass"
+    description = "reflection bypass of the ECALL guard"
+    rationale = (
+        "object.__getattribute__ / object.__setattr__ / getattr(x, '_...') "
+        "sidestep EnclaveHost.__getattr__, the sole runtime enforcement of "
+        "the ECALL boundary."
+    )
+    severity = Severity.ERROR
+    scope = ()
+    exempt = TRUSTED_PATHS
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "object"
+                and func.attr in ("__getattribute__", "__setattr__")
+            ):
+                yield self.finding(
+                    module, node,
+                    f"object.{func.attr}() bypasses the EnclaveHost "
+                    f"attribute guard",
+                )
+                continue
+            if (
+                isinstance(func, ast.Name)
+                and func.id in ("getattr", "setattr")
+                and len(node.args) >= 2
+                and isinstance(node.args[1], ast.Constant)
+                and isinstance(node.args[1].value, str)
+                and node.args[1].value.startswith("_")
+                and isinstance(node.args[0], ast.Name)
+                and (_is_enclaveish_name(node.args[0].id) or "host" in node.args[0].id.lower())
+            ):
+                yield self.finding(
+                    module, node,
+                    f"{func.id}({node.args[0].id}, {node.args[1].value!r}) "
+                    f"reaches private enclave state reflectively",
+                )

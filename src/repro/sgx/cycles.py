@@ -10,9 +10,11 @@ to the node's accountant, while untrusted execution charges ``standard``.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:
+    import random  # annotation-only: the rng is always injected, never drawn here
 
 __all__ = [
     "FunctionCost",

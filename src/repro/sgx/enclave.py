@@ -14,10 +14,10 @@ Intel attestation infrastructure) and a root sealing secret.
 
 from __future__ import annotations
 
-import random
 from typing import Any, Callable, Optional, TypeVar
 
 from repro.crypto.hashing import hkdf, sha256
+from repro.crypto.prng import Sha256Prng
 from repro.crypto.rsa import RsaKeyPair, generate_keypair
 from repro.sgx.errors import EnclaveViolation
 from repro.sgx.measurement import Measurement, Quote, measure_class
@@ -44,7 +44,7 @@ class SgxDevice:
     deterministic.
     """
 
-    def __init__(self, device_id: int, device_rng: random.Random):
+    def __init__(self, device_id: int, device_rng: Sha256Prng):
         self.device_id = device_id
         self._rng = device_rng
         self._attestation_keys: RsaKeyPair = generate_keypair(_DEVICE_KEY_BITS, device_rng)

@@ -11,9 +11,8 @@ enclave key — so K_T never exists in untrusted memory.
 
 from __future__ import annotations
 
-import random
-
 from repro.crypto.hashing import constant_time_equal
+from repro.crypto.prng import Sha256Prng
 from repro.crypto.rsa import RsaPublicKey
 from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import report_data_binding
@@ -26,7 +25,7 @@ __all__ = ["GroupKeyProvisioner"]
 class GroupKeyProvisioner:
     """Releases the trusted group key to successfully attested enclaves."""
 
-    def __init__(self, attestation: AttestationService, group_key: bytes, rng: random.Random):
+    def __init__(self, attestation: AttestationService, group_key: bytes, rng: Sha256Prng):
         if len(group_key) != 16:
             raise ValueError("group key must be a 16-byte AES key")
         self._attestation = attestation
