@@ -4,6 +4,8 @@ from repro.analysis.metrics import (
     DISCOVERY_THRESHOLD,
     STABILITY_TOLERANCE,
     overhead_percent,
+    peak_round,
+    per_round_series,
     resilience_from_trace,
     resilience_improvement,
     stability_round,
@@ -14,6 +16,8 @@ __all__ = [
     "DISCOVERY_THRESHOLD",
     "STABILITY_TOLERANCE",
     "overhead_percent",
+    "peak_round",
+    "per_round_series",
     "resilience_from_trace",
     "resilience_improvement",
     "stability_round",

@@ -17,7 +17,7 @@ rounds (in %) RAPTEE needs for discovery/stability vs the baseline.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from repro.sim.observers import RoundRecord
 
@@ -27,6 +27,8 @@ __all__ = [
     "stability_tolerance_for",
     "resilience_improvement",
     "overhead_percent",
+    "per_round_series",
+    "peak_round",
     "DISCOVERY_THRESHOLD",
     "STABILITY_TOLERANCE",
     "STABILITY_Z",
@@ -121,3 +123,29 @@ def overhead_percent(baseline_rounds: int, rounds: int) -> Optional[float]:
     if baseline_rounds <= 0 or rounds <= 0:
         return None
     return 100.0 * (rounds - baseline_rounds) / baseline_rounds
+
+
+def per_round_series(counter: Mapping[int, int], last_round: int) -> List[int]:
+    """Densify a ``round -> count`` counter into a list for rounds 1..last.
+
+    The network's per-round counters (:class:`repro.sim.network.NetworkStats`)
+    are sparse — rounds with no traffic simply have no key — which makes
+    them awkward to plot or diff.  The returned list has ``last_round``
+    entries, index 0 holding round 1.
+    """
+    if last_round < 0:
+        raise ValueError("last_round must be non-negative")
+    return [counter.get(round_number, 0) for round_number in range(1, last_round + 1)]
+
+
+def peak_round(counter: Mapping[int, int]) -> Optional[Tuple[int, int]]:
+    """The (round, count) with the highest count, or ``None`` if empty.
+
+    Ties break toward the earliest round, so the answer is deterministic.
+    """
+    best: Optional[Tuple[int, int]] = None
+    for round_number in sorted(counter):
+        count = counter[round_number]
+        if best is None or count > best[1]:
+            best = (round_number, count)
+    return best

@@ -8,6 +8,8 @@ Three commands cover the common workflows:
   print its rows;
 * ``attack`` — run the §VI-A trusted-node identification attack and print
   precision/recall/F1;
+* ``faults`` — run a named fault-injection drill (:mod:`repro.faults`)
+  and print the recovery/invariant report;
 * ``lint`` — run the :mod:`repro.lint` invariant checks (determinism,
   enclave boundary, crypto hygiene, sim purity).
 
@@ -16,6 +18,7 @@ Examples::
     python -m repro run --protocol raptee --nodes 300 --f 0.1 --t 0.1
     python -m repro figure fig9 --scale test
     python -m repro attack --f 0.2 --t 0.2 --eviction 1.0
+    python -m repro faults --drill enclave-outage --nodes 200 --rounds 50
     python -m repro lint src tests --format json
 """
 
@@ -39,6 +42,7 @@ from repro.experiments.figures import (
     table1_sgx_overhead,
 )
 from repro.experiments.runner import run_bundle
+from repro.faults.drills import DRILLS, run_drill
 from repro.experiments.scenarios import (
     TopologySpec,
     build_brahms_simulation,
@@ -103,6 +107,16 @@ def build_parser() -> argparse.ArgumentParser:
     attack_parser.add_argument("--seed", type=int, default=1)
     attack_parser.add_argument("--view-ratio", type=float, default=0.08)
     attack_parser.add_argument("--eviction", type=parse_eviction, default=AdaptiveEviction())
+
+    faults_parser = subparsers.add_parser(
+        "faults", help="run a named fault-injection drill (see repro.faults)"
+    )
+    faults_parser.add_argument(
+        "--drill", choices=sorted(DRILLS), default="enclave-outage"
+    )
+    faults_parser.add_argument("--nodes", type=int, default=200)
+    faults_parser.add_argument("--rounds", type=int, default=50)
+    faults_parser.add_argument("--seed", type=int, default=1)
 
     lint_parser = subparsers.add_parser(
         "lint", help="run the static invariant checks (see repro.lint)"
@@ -188,6 +202,14 @@ def _command_attack(args) -> int:
     return 0
 
 
+def _command_faults(args) -> int:
+    report = run_drill(
+        args.drill, nodes=args.nodes, rounds=args.rounds, seed=args.seed
+    )
+    print(report.render())
+    return 0 if report.violations == 0 else 1
+
+
 def _command_lint(args) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -200,6 +222,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "run": _command_run,
         "figure": _command_figure,
         "attack": _command_attack,
+        "faults": _command_faults,
         "lint": _command_lint,
     }
     return handlers[args.command](args)

@@ -13,6 +13,12 @@ from repro.core.deployment import TrustedInfrastructure
 from repro.core.enclave import RapteeEnclave
 from repro.core.eviction import AdaptiveEviction, EvictionPolicy, FixedEviction
 from repro.core.node import RapteeNode
+from repro.core.recovery import (
+    EnclaveRecoveryManager,
+    RecoveryState,
+    RetryPolicy,
+    provision_with_retry,
+)
 from repro.core.trusted_exchange import SwapOffer, apply_swap, build_offer
 
 __all__ = [
@@ -26,6 +32,10 @@ __all__ = [
     "EvictionPolicy",
     "FixedEviction",
     "RapteeNode",
+    "EnclaveRecoveryManager",
+    "RecoveryState",
+    "RetryPolicy",
+    "provision_with_retry",
     "SwapOffer",
     "apply_swap",
     "build_offer",

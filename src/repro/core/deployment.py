@@ -9,9 +9,11 @@ provisioned trusted enclave".
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import random
+from typing import Dict, Optional, Tuple
 
 from repro.core.enclave import RapteeEnclave
+from repro.core.recovery import RetryPolicy, provision_with_retry
 from repro.crypto.prng import Sha256Prng
 from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import EnclaveHost, SgxDevice
@@ -45,11 +47,17 @@ class TrustedInfrastructure:
         self._measurement_trusted = False
         self.devices: Dict[int, SgxDevice] = {}
 
-    def new_trusted_enclave(self, device_id: int) -> Tuple[EnclaveHost, SgxDevice]:
-        """Manufacture, attest and provision one trusted node's enclave."""
-        device = SgxDevice(device_id, self._rng.spawn("device", device_id))
-        self.attestation.register_device(device_id, device.attestation_public_key)
-        self.devices[device_id] = device
+    def reload_enclave(self, device_id: int) -> EnclaveHost:
+        """Load a fresh, unprovisioned enclave on an existing device.
+
+        The recovery path after an enclave crash: the device (and its
+        attestation registration) survives, only the enclave instance is
+        gone.  The returned host still needs K_T — via sealed-storage
+        restore or :meth:`provision_host`.
+        """
+        device = self.devices.get(device_id)
+        if device is None:
+            raise KeyError(f"no SGX device {device_id} in this deployment")
         host = device.load(
             RapteeEnclave,
             auth_mode=self._auth_mode,
@@ -58,7 +66,37 @@ class TrustedInfrastructure:
         if not self._measurement_trusted:
             self.attestation.trust_measurement(host.measurement)
             self._measurement_trusted = True
+        return host
+
+    def provision_host(self, host: EnclaveHost) -> None:
+        """Attest and provision K_T into a loaded enclave (one attempt)."""
+        if not self._measurement_trusted:
+            self.attestation.trust_measurement(host.measurement)
+            self._measurement_trusted = True
         quote, public_key = host.begin_provisioning()
         ciphertext = self.provisioner.provision(quote, public_key)
         host.complete_provisioning(ciphertext)
+
+    def new_trusted_enclave(
+        self,
+        device_id: int,
+        retry: Optional[RetryPolicy] = None,
+        retry_rng: Optional[random.Random] = None,
+    ) -> Tuple[EnclaveHost, SgxDevice]:
+        """Manufacture, attest and provision one trusted node's enclave.
+
+        With a ``retry`` policy (and its rng), transient attestation or
+        provisioning failures are retried under the policy's attempt bound
+        instead of aborting the bootstrap.
+        """
+        device = SgxDevice(device_id, self._rng.spawn("device", device_id))
+        self.attestation.register_device(device_id, device.attestation_public_key)
+        self.devices[device_id] = device
+        host = self.reload_enclave(device_id)
+        if retry is None:
+            self.provision_host(host)
+        else:
+            if retry_rng is None:
+                raise ValueError("retry_rng is required when a retry policy is set")
+            provision_with_retry(self, host, retry, retry_rng)
         return host, device

@@ -16,6 +16,15 @@ Crucially, a trusted node's observable behaviour is identical to an honest
 node's: same number of pushes, pulls, and auth messages per round.  Only
 the *content* of its pull answers can differ — the leakage channel §VI-A's
 identification attack exploits.
+
+**Failure hardening.**  A trusted node whose enclave becomes unavailable
+(crash, EPC loss — raised as :class:`~repro.sgx.errors.EnclaveUnavailable`
+at the first ECALL) does not take the whole node down: it *degrades* to
+honest-untrusted Brahms behaviour — same message pattern, a private random
+auth key that proves nothing — and keeps gossiping.  Once a fresh enclave
+is restored (sealed-storage reload or re-attestation, driven by
+:class:`~repro.core.recovery.EnclaveRecoveryManager`), the node *promotes*
+itself back and resumes trusted swaps and eviction.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from repro.core.config import RapteeConfig
 from repro.core.trusted_exchange import apply_swap, build_offer
 from repro.sgx.cycles import CycleAccountant, PeerSamplingFunction
 from repro.sgx.enclave import EnclaveHost
+from repro.sgx.errors import EnclaveUnavailable
 from repro.sim.engine import RoundContext
 from repro.sim.messages import (
     AuthChallenge,
@@ -62,14 +72,15 @@ class RapteeNode(BrahmsNode):
         super().__init__(node_id, kind, config.brahms, rng, cycle_accountant)
         self.raptee_config = config
         self._scheme = AuthScheme(config.auth_mode)
-        self.trusted = kind.runs_trusted_code
-        if self.trusted:
+        self._trusted_role = kind.runs_trusted_code
+        self.degraded = False
+        if self._trusted_role:
             if enclave is None:
                 raise ValueError("trusted nodes require a provisioned enclave")
             if not enclave.is_provisioned():
                 raise ValueError("enclave must be provisioned with the group key")
             self.enclave = enclave
-            self._own_key = None
+            self._own_key: Optional[bytes] = None
         else:
             if enclave is not None:
                 raise ValueError("untrusted nodes must not carry an enclave")
@@ -87,6 +98,51 @@ class RapteeNode(BrahmsNode):
         self.last_eviction_rate: Optional[float] = None
         self.evicted_ids_total = 0
         self.trusted_exchanges_total = 0
+        self.degradations_total = 0
+        self.promotions_total = 0
+
+    # -- trusted status and enclave failure handling -----------------------------
+
+    @property
+    def trusted(self) -> bool:
+        """Whether the node *currently* operates as a trusted node.
+
+        A trusted-role node that lost its enclave is ``trusted == False``
+        until re-promoted — observationally an honest untrusted node.
+        """
+        return self._trusted_role and not self.degraded
+
+    @property
+    def trusted_role(self) -> bool:
+        """Whether the node was deployed as a trusted node (never changes)."""
+        return self._trusted_role
+
+    def note_enclave_failure(self) -> None:
+        """Degrade to honest-untrusted behaviour after an enclave failure.
+
+        Idempotent.  The node draws a private random auth key (exactly what
+        honest untrusted nodes carry) so handshakes keep their shape but
+        never prove knowledge of K_T.
+        """
+        if not self._trusted_role or self.degraded:
+            return
+        self.degraded = True
+        self.degradations_total += 1
+        if self._own_key is None:
+            self._own_key = self.rng.getrandbits(KEY_BYTES * 8).to_bytes(
+                KEY_BYTES, "big"
+            )
+
+    def promote(self, enclave: EnclaveHost) -> None:
+        """Resume trusted operation with a restored, provisioned enclave."""
+        if not self._trusted_role:
+            raise ValueError("only trusted-role nodes can be promoted")
+        if enclave is None or not enclave.is_provisioned():
+            raise ValueError("promotion requires a provisioned enclave")
+        self.enclave = enclave
+        if self.degraded:
+            self.degraded = False
+            self.promotions_total += 1
 
     # -- round lifecycle -------------------------------------------------------
 
@@ -109,12 +165,21 @@ class RapteeNode(BrahmsNode):
         )
         if not isinstance(response, AuthResponse):
             return None
+        peer_trusted = False
+        confirm_proof: Optional[bytes] = None
         if self.trusted:
-            peer_trusted = self.enclave.auth_check_response(
-                r_a, response.r_b, response.proof
-            )
-            confirm_proof = self.enclave.auth_confirm(r_a, response.r_b)
-        else:
+            try:
+                peer_trusted = self.enclave.auth_check_response(
+                    r_a, response.r_b, response.proof
+                )
+                confirm_proof = self.enclave.auth_confirm(r_a, response.r_b)
+            except EnclaveUnavailable:
+                # The enclave died mid-handshake: degrade and finish the
+                # session as an honest node would (peer no longer provable).
+                self.note_enclave_failure()
+                peer_trusted = False
+                confirm_proof = None
+        if confirm_proof is None:
             peer_trusted = self._scheme.check_response(
                 self._own_key, r_a, response.r_b, response.proof
             )
@@ -168,9 +233,14 @@ class RapteeNode(BrahmsNode):
 
     def handle_request(self, message: Message) -> Optional[Message]:
         if isinstance(message, AuthChallenge):
+            r_b: Optional[bytes] = None
+            proof = b""
             if self.trusted:
-                r_b, proof = self.enclave.auth_respond(message.r_a)
-            else:
+                try:
+                    r_b, proof = self.enclave.auth_respond(message.r_a)
+                except EnclaveUnavailable:
+                    self.note_enclave_failure()
+            if r_b is None:
                 parts = self._scheme.respond(self._own_key, message.r_a, self.rng)
                 r_b, proof = parts.r_b, parts.proof
             self._pending_auth[message.sender] = (message.r_a, r_b)
@@ -182,7 +252,15 @@ class RapteeNode(BrahmsNode):
             if pending is not None:
                 r_a, r_b = pending
                 if self.trusted:
-                    mutual = self.enclave.auth_check_confirm(r_a, r_b, message.proof)
+                    try:
+                        mutual = self.enclave.auth_check_confirm(
+                            r_a, r_b, message.proof
+                        )
+                    except EnclaveUnavailable:
+                        # A degraded responder can no longer verify K_T
+                        # proofs, so the session is not mutually trusted.
+                        self.note_enclave_failure()
+                        mutual = False
                 else:
                     mutual = self._scheme.check_confirm(
                         self._own_key, r_a, r_b, message.proof

@@ -1,0 +1,235 @@
+"""Enclave failure recovery: sealed-storage restore, re-attestation, backoff.
+
+The paper assumes trusted nodes stay up; real TEE deployments do not
+(ReplicaTEE replicates enclaves precisely because they crash, and Proteus
+treats TEEs as only "mostly trusted").  This module gives the reproduction
+the recovery half of that story:
+
+* :class:`RetryPolicy` — deterministic exponential backoff with rng-driven
+  jitter and bounded attempts, shared by bootstrap and mid-run recovery;
+* :class:`EnclaveRecoveryManager` — the per-deployment operator daemon.
+  Each round it scans trusted-role nodes, notices dead enclaves, and walks
+  the recovery ladder: load a fresh enclave on the same device, restore
+  K_T from *sealed storage* (:mod:`repro.sgx.sealing` — no attestation
+  round-trip), and only if the blob is missing or corrupted fall back to
+  full re-attestation + provisioning, retried under the backoff policy.
+  Nodes whose recovery succeeds are promoted back to trusted operation
+  (:meth:`repro.core.node.RapteeNode.promote`).
+
+Everything is deterministic under the experiment seed: backoff jitter comes
+from an injected RNG and nodes are visited in sorted-ID order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.core.node import RapteeNode
+from repro.sgx.errors import AttestationError, ProvisioningError, SealingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deployment import TrustedInfrastructure
+    from repro.sgx.enclave import EnclaveHost
+    from repro.sim.engine import Simulation
+
+__all__ = ["RetryPolicy", "RecoveryState", "EnclaveRecoveryManager", "provision_with_retry"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff and rng-driven jitter.
+
+    Delays are measured in simulation rounds: attempt *k* (0-based) that
+    fails is retried after ``min(base_delay · multiplier^k, max_delay)``
+    rounds plus a uniform jitter in ``[0, jitter]`` drawn from the injected
+    RNG.  After ``max_attempts`` failures the subject is abandoned
+    (permanently degraded) until an operator intervenes.
+    """
+
+    base_delay: int = 1
+    multiplier: int = 2
+    max_delay: int = 16
+    max_attempts: int = 6
+    jitter: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base_delay < 1:
+            raise ValueError("base_delay must be at least 1 round")
+        if self.multiplier < 1:
+            raise ValueError("multiplier must be at least 1")
+        if self.max_delay < self.base_delay:
+            raise ValueError("max_delay must be >= base_delay")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def delay_rounds(self, attempt: int, rng: random.Random) -> int:
+        """Backoff delay (in rounds) after the given 0-based failed attempt."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        backoff = min(self.base_delay * self.multiplier ** attempt, self.max_delay)
+        if self.jitter:
+            backoff += rng.randrange(self.jitter + 1)
+        return backoff
+
+
+@dataclass
+class RecoveryState:
+    """Per-node progress of an ongoing recovery."""
+
+    attempts: int = 0
+    next_attempt_round: int = 0
+    exhausted: bool = False
+
+
+@dataclass
+class RecoveryStats:
+    """Counters the fault drills report."""
+
+    restores_from_seal: int = 0
+    reprovisions: int = 0
+    failed_attempts: int = 0
+    corrupted_blobs: int = 0
+
+
+class EnclaveRecoveryManager:
+    """Restores crashed/degraded trusted nodes, round by round.
+
+    The manager doubles as the deployment's *sealed storage*: it keeps each
+    trusted node's sealed K_T blob (written at provisioning time and after
+    every successful re-provisioning), which is what makes the no-attestation
+    restart path possible — and what fault plans corrupt to force the full
+    re-attestation ladder.
+    """
+
+    def __init__(
+        self,
+        infrastructure: "TrustedInfrastructure",
+        rng: random.Random,
+        policy: Optional[RetryPolicy] = None,
+    ):
+        self._infrastructure = infrastructure
+        self._rng = rng
+        self.policy = policy or RetryPolicy()
+        self._sealed: Dict[int, bytes] = {}
+        self._states: Dict[int, RecoveryState] = {}
+        self.stats = RecoveryStats()
+
+    # -- sealed storage ------------------------------------------------------
+
+    def adopt(self, node: RapteeNode) -> None:
+        """Take custody of a provisioned node: snapshot its sealed K_T."""
+        if not node.trusted_role or node.enclave is None:
+            raise ValueError("only provisioned trusted-role nodes can be adopted")
+        self._sealed[node.node_id] = node.enclave.seal_group_key()
+
+    def sealed_blob(self, node_id: int) -> Optional[bytes]:
+        return self._sealed.get(node_id)
+
+    def corrupt_sealed_blob(self, node_id: int) -> bool:
+        """Flip a byte in a node's sealed blob (fault injection).
+
+        Returns whether a blob existed.  The flipped MAC byte guarantees the
+        next restore attempt fails authentication and falls back to
+        re-attestation.
+        """
+        blob = self._sealed.get(node_id)
+        if blob is None:
+            return False
+        self._sealed[node_id] = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        return True
+
+    # -- per-round recovery --------------------------------------------------
+
+    def exhausted_node_ids(self) -> Tuple[int, ...]:
+        return tuple(
+            node_id for node_id, state in sorted(self._states.items())
+            if state.exhausted
+        )
+
+    def tick(self, simulation: "Simulation") -> None:
+        """One recovery pass: detect dead enclaves, attempt restores."""
+        for node_id in sorted(simulation.nodes):
+            node = simulation.nodes[node_id]
+            if not isinstance(node, RapteeNode) or not node.trusted_role:
+                continue
+            if not node.alive:
+                continue
+            # Watchdog: a crashed enclave the node has not touched yet.
+            if (
+                not node.degraded
+                and node.enclave is not None
+                and node.enclave.crashed
+            ):
+                node.note_enclave_failure()
+            if node.degraded:
+                self._attempt_recovery(node, simulation.round_number)
+
+    def _attempt_recovery(self, node: RapteeNode, round_number: int) -> None:
+        state = self._states.setdefault(node.node_id, RecoveryState())
+        if state.exhausted or round_number < state.next_attempt_round:
+            return
+        host = self._infrastructure.reload_enclave(node.node_id)
+
+        # Rung 1: restore K_T from sealed storage — no attestation involved.
+        blob = self._sealed.get(node.node_id)
+        if blob is not None:
+            try:
+                host.restore_group_key(blob)
+                self.stats.restores_from_seal += 1
+                self._promote(node, host)
+                return
+            except (SealingError, ProvisioningError):
+                # Corrupted or foreign blob: discard it, fall through to
+                # the full re-attestation path.
+                self.stats.corrupted_blobs += 1
+                del self._sealed[node.node_id]
+
+        # Rung 2: full re-attestation + provisioning, under backoff.
+        try:
+            self._infrastructure.provision_host(host)
+        except (ProvisioningError, AttestationError):
+            self.stats.failed_attempts += 1
+            delay = self.policy.delay_rounds(state.attempts, self._rng)
+            state.attempts += 1
+            if state.attempts >= self.policy.max_attempts:
+                state.exhausted = True
+            else:
+                state.next_attempt_round = round_number + delay
+            return
+        self.stats.reprovisions += 1
+        self._sealed[node.node_id] = host.seal_group_key()
+        self._promote(node, host)
+
+    def _promote(self, node: RapteeNode, host: "EnclaveHost") -> None:
+        node.promote(host)
+        self._states.pop(node.node_id, None)
+
+
+def provision_with_retry(
+    infrastructure: "TrustedInfrastructure",
+    host: "EnclaveHost",
+    policy: RetryPolicy,
+    rng: random.Random,
+) -> int:
+    """Bootstrap-time provisioning with bounded immediate retries.
+
+    Before the simulation clock exists there are no rounds to back off
+    across, so attempts are immediate; the jitter draw is still consumed so
+    bootstrap and mid-run recovery share one deterministic rng discipline.
+    Returns the number of attempts used; re-raises the last error once
+    ``policy.max_attempts`` is exhausted.
+    """
+    last_error: Optional[Exception] = None
+    for attempt in range(policy.max_attempts):
+        try:
+            infrastructure.provision_host(host)
+            return attempt + 1
+        except (ProvisioningError, AttestationError) as error:
+            last_error = error
+            policy.delay_rounds(attempt, rng)
+    assert last_error is not None
+    raise last_error

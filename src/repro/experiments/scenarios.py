@@ -125,8 +125,9 @@ class SimulationBundle:
     trusted_ids: frozenset = frozenset()
     cycle_accountants: Dict[int, CycleAccountant] = field(default_factory=dict)
 
-    def run(self, rounds: int) -> None:
-        self.simulation.run(rounds, observers=[self.trace, self.discovery])
+    def run(self, rounds: int, extra_observers: Sequence = ()) -> None:
+        observers = [self.trace, self.discovery, *extra_observers]
+        self.simulation.run(rounds, observers=observers)
 
 
 def _seed_all_views(nodes: Sequence, membership: List[int], view_size: int,

@@ -1,0 +1,64 @@
+"""Deterministic fault injection for the RAPTEE simulator.
+
+The paper evaluates RAPTEE under an adversary but assumes the *benign*
+infrastructure — network links, node processes, SGX machinery — works
+perfectly.  This package drops that assumption: declarative
+:class:`~repro.faults.plan.FaultPlan`\\ s describe link loss, partitions,
+eclipse cuts, crash-restarts, omission nodes, attestation outages,
+provisioning flakiness, enclave crashes, sealed-blob corruption and device
+revocation; the :class:`~repro.faults.injector.FaultInjector` applies them
+to a running simulation through seeded hooks, paired with the recovery
+machinery in :mod:`repro.core.recovery` and audited every round by the
+:class:`~repro.faults.invariants.InvariantChecker`.
+
+Everything is deterministic: the same seed and the same plan reproduce the
+same run, faults included.
+"""
+
+from repro.faults.drills import DRILLS, DrillReport, run_drill
+from repro.faults.harness import FaultHarness, wire_faults
+from repro.faults.injector import FaultInjector, InjectionStats
+from repro.faults.invariants import InvariantChecker, InvariantViolation, Violation
+from repro.faults.plan import (
+    AttestationOutageFault,
+    CrashRestartFault,
+    DeviceRevocationFault,
+    EclipseFault,
+    EnclaveCrashFault,
+    Fault,
+    FaultPlan,
+    LinkFault,
+    LossBurstFault,
+    OmissionFault,
+    PartitionFault,
+    ProvisioningFlakinessFault,
+    RoundWindow,
+    SealedBlobCorruptionFault,
+)
+
+__all__ = [
+    "DRILLS",
+    "DrillReport",
+    "run_drill",
+    "FaultHarness",
+    "wire_faults",
+    "FaultInjector",
+    "InjectionStats",
+    "InvariantChecker",
+    "InvariantViolation",
+    "Violation",
+    "AttestationOutageFault",
+    "CrashRestartFault",
+    "DeviceRevocationFault",
+    "EclipseFault",
+    "EnclaveCrashFault",
+    "Fault",
+    "FaultPlan",
+    "LinkFault",
+    "LossBurstFault",
+    "OmissionFault",
+    "PartitionFault",
+    "ProvisioningFlakinessFault",
+    "RoundWindow",
+    "SealedBlobCorruptionFault",
+]

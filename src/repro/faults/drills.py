@@ -1,0 +1,209 @@
+"""Canned fault drills: named end-to-end failure scenarios.
+
+A *drill* builds a full RAPTEE deployment, applies a representative fault
+plan, runs it with the invariant checker armed, and summarizes what broke
+and what recovered.  Drills double as executable documentation (the README
+walks through one) and as the CI smoke check for the fault layer
+(``python -m repro faults --drill enclave-outage``).
+
+Available drills:
+
+* ``enclave-outage`` — 30 % of trusted enclaves crash mid-run during an
+  attestation-service outage, and a third of the victims additionally lose
+  their sealed K_T backups.  Exercises degradation to honest-Brahms
+  behaviour, sealed-storage restores, backoff through the outage, and
+  re-promotion.
+* ``partition`` — the correct population splits into two halves for a
+  window, under a simultaneous global loss burst.
+* ``flaky-provisioning`` — trusted nodes crash-restart with corrupted
+  backups while the provisioning service refuses most requests, forcing
+  recovery through many retry rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.metrics import resilience_from_trace
+from repro.core.eviction import AdaptiveEviction
+from repro.core.node import RapteeNode
+from repro.experiments.scenarios import SimulationBundle, TopologySpec, build_raptee_simulation
+from repro.faults.harness import FaultHarness, wire_faults
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import (
+    AttestationOutageFault,
+    CrashRestartFault,
+    EnclaveCrashFault,
+    FaultPlan,
+    LossBurstFault,
+    PartitionFault,
+    ProvisioningFlakinessFault,
+    RoundWindow,
+    SealedBlobCorruptionFault,
+)
+
+__all__ = ["DRILLS", "DrillReport", "run_drill"]
+
+
+@dataclass(frozen=True)
+class DrillReport:
+    """Outcome of one fault drill."""
+
+    name: str
+    nodes: int
+    rounds: int
+    seed: int
+    plan_description: str
+    resilience_percent: float
+    drops_by_cause: Dict[str, int]
+    crashes: int
+    restarts: int
+    enclave_crashes: int
+    degradations: int
+    promotions: int
+    restores_from_seal: int
+    reprovisions: int
+    failed_attempts: int
+    still_degraded: int
+    rounds_checked: int
+    violations: int
+
+    def render(self) -> str:
+        lines = [
+            f"fault drill:        {self.name}",
+            f"population:         {self.nodes} nodes, {self.rounds} rounds (seed {self.seed})",
+            self.plan_description,
+            f"messages dropped:   "
+            + (", ".join(f"{cause} {count}"
+                         for cause, count in sorted(self.drops_by_cause.items()))
+               or "none"),
+            f"node crashes:       {self.crashes} (restarts {self.restarts})",
+            f"enclave crashes:    {self.enclave_crashes}",
+            f"degradations:       {self.degradations} "
+            f"(promotions back {self.promotions}, still degraded {self.still_degraded})",
+            f"sealed restores:    {self.restores_from_seal}",
+            f"re-provisionings:   {self.reprovisions} "
+            f"(failed attempts {self.failed_attempts})",
+            f"byz IDs in views:   {self.resilience_percent:.1f}%",
+            f"invariants:         {self.rounds_checked} rounds checked, "
+            f"{self.violations} violation(s)",
+        ]
+        return "\n".join(lines)
+
+
+def _drill_spec(nodes: int) -> TopologySpec:
+    return TopologySpec(
+        n_nodes=nodes,
+        byzantine_fraction=0.10,
+        trusted_fraction=0.30,
+        view_ratio=0.08,
+    )
+
+
+def _trusted_ids(bundle: SimulationBundle) -> List[int]:
+    return sorted(bundle.trusted_ids)
+
+
+def _enclave_outage_plan(bundle: SimulationBundle, rounds: int) -> FaultPlan:
+    trusted = _trusted_ids(bundle)
+    victims = trusted[: max(1, math.ceil(len(trusted) * 0.30))]
+    crash_round = max(2, rounds // 5)
+    outage = RoundWindow(crash_round, min(rounds, crash_round + 8))
+    faults: List = [AttestationOutageFault(outage)]
+    faults.extend(EnclaveCrashFault(victim, crash_round) for victim in victims)
+    faults.extend(
+        SealedBlobCorruptionFault(victim, crash_round)
+        for victim in victims[::3]
+    )
+    return FaultPlan(faults)
+
+
+def _partition_plan(bundle: SimulationBundle, rounds: int) -> FaultPlan:
+    correct = sorted(bundle.simulation.correct_node_ids())
+    half = len(correct) // 2
+    window = RoundWindow(max(2, rounds // 4), max(2, rounds // 2))
+    return FaultPlan([
+        PartitionFault(frozenset(correct[:half]), frozenset(correct[half:]), window),
+        LossBurstFault(window, 0.10),
+    ])
+
+
+def _flaky_provisioning_plan(bundle: SimulationBundle, rounds: int) -> FaultPlan:
+    trusted = _trusted_ids(bundle)
+    victims = trusted[: max(1, len(trusted) // 5)]
+    crash_round = max(2, rounds // 6)
+    faults: List = [
+        ProvisioningFlakinessFault(RoundWindow(crash_round, rounds), 0.60),
+    ]
+    faults.extend(
+        CrashRestartFault(victim, crash_round, down_rounds=2)
+        for victim in victims
+    )
+    faults.extend(
+        SealedBlobCorruptionFault(victim, crash_round) for victim in victims
+    )
+    return FaultPlan(faults)
+
+
+DRILLS = {
+    "enclave-outage": _enclave_outage_plan,
+    "partition": _partition_plan,
+    "flaky-provisioning": _flaky_provisioning_plan,
+}
+
+
+def run_drill(
+    name: str,
+    nodes: int = 200,
+    rounds: int = 50,
+    seed: int = 1,
+) -> DrillReport:
+    """Build, break, run, and summarize one named drill."""
+    if name not in DRILLS:
+        raise ValueError(
+            f"unknown drill {name!r}; available: {', '.join(sorted(DRILLS))}"
+        )
+    bundle = build_raptee_simulation(_drill_spec(nodes), seed, eviction=AdaptiveEviction())
+    plan = DRILLS[name](bundle, rounds)
+    checker = InvariantChecker(record_only=True)
+    harness = wire_faults(bundle, plan, seed, checker=checker)
+    harness.run(rounds)
+    return _report(name, nodes, rounds, seed, harness)
+
+
+def _report(
+    name: str, nodes: int, rounds: int, seed: int, harness: FaultHarness
+) -> DrillReport:
+    bundle = harness.bundle
+    stats = harness.injector.stats
+    recovery_stats = harness.recovery.stats if harness.recovery else None
+    degradations = promotions = still_degraded = 0
+    for node_id in sorted(bundle.simulation.nodes):
+        node = bundle.simulation.nodes[node_id]
+        if isinstance(node, RapteeNode):
+            degradations += node.degradations_total
+            promotions += node.promotions_total
+            still_degraded += int(node.degraded)
+    checker = harness.checker
+    return DrillReport(
+        name=name,
+        nodes=nodes,
+        rounds=rounds,
+        seed=seed,
+        plan_description=harness.plan.describe(),
+        resilience_percent=100.0 * resilience_from_trace(bundle.trace.records),
+        drops_by_cause=dict(stats.drops_by_cause),
+        crashes=stats.crashes,
+        restarts=stats.restarts,
+        enclave_crashes=stats.enclave_crashes,
+        degradations=degradations,
+        promotions=promotions,
+        restores_from_seal=recovery_stats.restores_from_seal if recovery_stats else 0,
+        reprovisions=recovery_stats.reprovisions if recovery_stats else 0,
+        failed_attempts=recovery_stats.failed_attempts if recovery_stats else 0,
+        still_degraded=still_degraded,
+        rounds_checked=checker.rounds_checked if checker else 0,
+        violations=len(checker.violations) if checker else 0,
+    )

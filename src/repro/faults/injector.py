@@ -1,0 +1,234 @@
+"""The fault injector: interprets a :class:`~repro.faults.plan.FaultPlan`.
+
+One :class:`FaultInjector` attaches to one simulation.  It plugs into the
+two hooks the simulator exposes:
+
+* the network's message-level fault hook
+  (:meth:`repro.sim.network.Network.install_fault_hook`) for link loss,
+  partitions, eclipses, omission nodes and loss bursts;
+* the engine's round-start controller
+  (:class:`repro.sim.engine.FaultController`) for crash/restart, enclave
+  crashes, sealed-blob corruption, device revocation and
+  attestation/provisioning outages — and, after the faults of the round
+  are applied, a tick of the enclave recovery manager so degraded trusted
+  nodes can climb back.
+
+Determinism: all probabilistic decisions draw from the injector's own RNG
+(derived from the experiment seed under a ``"faults"`` label), visiting
+faults in plan order and nodes in sorted order.  A run with an empty plan
+is byte-identical to a run with no injector at all — the hooks never touch
+the protocol RNG streams.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.node import RapteeNode
+from repro.core.recovery import EnclaveRecoveryManager
+from repro.faults.plan import (
+    AttestationOutageFault,
+    CrashRestartFault,
+    DeviceRevocationFault,
+    EclipseFault,
+    EnclaveCrashFault,
+    FaultPlan,
+    LinkFault,
+    LossBurstFault,
+    OmissionFault,
+    PartitionFault,
+    ProvisioningFlakinessFault,
+    SealedBlobCorruptionFault,
+)
+from repro.sim.engine import FaultController, Simulation
+
+__all__ = ["InjectionStats", "FaultInjector"]
+
+
+@dataclass
+class InjectionStats:
+    """What the injector actually did, for drill reports and assertions."""
+
+    drops_by_cause: Counter = field(default_factory=Counter)
+    crashes: int = 0
+    restarts: int = 0
+    enclave_crashes: int = 0
+    blob_corruptions: int = 0
+    revocations: int = 0
+    outage_rounds: int = 0
+    provisioning_refusals: int = 0
+
+    @property
+    def messages_dropped(self) -> int:
+        return sum(self.drops_by_cause.values())
+
+
+class FaultInjector(FaultController):
+    """Applies a fault plan to a running simulation, round by round."""
+
+    def __init__(self, plan: FaultPlan, rng: random.Random):
+        self.plan = plan
+        self._rng = rng
+        self.stats = InjectionStats()
+        self._simulation: Optional[Simulation] = None
+        self._infrastructure = None
+        self.recovery: Optional[EnclaveRecoveryManager] = None
+        #: node_id -> round at which to bring the node back up.
+        self._revive_at: Dict[int, int] = {}
+        self._round = 0
+        # Split the plan once by layer so the per-message hook stays cheap.
+        self._link_faults = plan.of_type(LinkFault)
+        self._partitions = plan.of_type(PartitionFault)
+        self._eclipses = plan.of_type(EclipseFault)
+        self._bursts = plan.of_type(LossBurstFault)
+        self._omissions = plan.of_type(OmissionFault)
+        self._crash_restarts = plan.of_type(CrashRestartFault)
+        self._outages = plan.of_type(AttestationOutageFault)
+        self._flakiness = plan.of_type(ProvisioningFlakinessFault)
+        self._enclave_crashes = plan.of_type(EnclaveCrashFault)
+        self._blob_corruptions = plan.of_type(SealedBlobCorruptionFault)
+        self._revocations = plan.of_type(DeviceRevocationFault)
+
+    # -- wiring ----------------------------------------------------------------
+
+    def attach(
+        self,
+        simulation: Simulation,
+        infrastructure=None,
+        recovery: Optional[EnclaveRecoveryManager] = None,
+    ) -> None:
+        """Install the injector's hooks on a simulation (and its TCB)."""
+        if self._simulation is not None:
+            raise RuntimeError("injector is already attached to a simulation")
+        if self.plan.needs_sgx and infrastructure is None:
+            raise ValueError(
+                "the plan contains SGX faults but no TrustedInfrastructure "
+                "was provided"
+            )
+        self._simulation = simulation
+        self._infrastructure = infrastructure
+        self.recovery = recovery
+        simulation.set_fault_controller(self)
+        simulation.network.install_fault_hook(self._on_message)
+        if infrastructure is not None and self._flakiness:
+            infrastructure.provisioner.set_fault_hook(self._provisioning_fault)
+
+    # -- round-start faults ----------------------------------------------------
+
+    def on_round_start(self, simulation: Simulation) -> None:
+        round_number = simulation.round_number
+        self._round = round_number
+
+        if self._outages:
+            available = not any(f.window.covers(round_number) for f in self._outages)
+            self._infrastructure.attestation.set_available(available)
+            if not available:
+                self.stats.outage_rounds += 1
+
+        for fault in self._crash_restarts:
+            if fault.at_round == round_number:
+                self._crash_node(simulation, fault)
+        for node_id in sorted(self._revive_at):
+            if self._revive_at[node_id] <= round_number:
+                del self._revive_at[node_id]
+                simulation.set_node_alive(node_id, True)
+                self.stats.restarts += 1
+
+        for fault in self._enclave_crashes:
+            if fault.at_round == round_number:
+                self._crash_enclave(simulation, fault.node_id)
+                self.stats.enclave_crashes += 1
+
+        for fault in self._blob_corruptions:
+            if fault.at_round == round_number:
+                if self.recovery is None:
+                    raise ValueError(
+                        "sealed-blob corruption requires a recovery manager"
+                    )
+                if self.recovery.corrupt_sealed_blob(fault.node_id):
+                    self.stats.blob_corruptions += 1
+
+        for fault in self._revocations:
+            if fault.at_round == round_number:
+                self._infrastructure.attestation.revoke_device(fault.node_id)
+                self.stats.revocations += 1
+
+        if self.recovery is not None:
+            self.recovery.tick(simulation)
+
+    def _crash_node(self, simulation: Simulation, fault: CrashRestartFault) -> None:
+        if fault.node_id not in simulation.nodes:
+            return  # departed via churn before the fault fired
+        simulation.set_node_alive(fault.node_id, False)
+        self._revive_at[fault.node_id] = fault.at_round + fault.down_rounds
+        self.stats.crashes += 1
+        if fault.crash_enclave:
+            self._crash_enclave(simulation, fault.node_id)
+
+    @staticmethod
+    def _crash_enclave(simulation: Simulation, node_id: int) -> None:
+        node = simulation.nodes.get(node_id)
+        if (
+            isinstance(node, RapteeNode)
+            and node.enclave is not None
+            and not node.enclave.crashed
+        ):
+            node.enclave.crash()
+
+    def _provisioning_fault(self) -> Optional[str]:
+        for fault in self._flakiness:
+            if fault.window.covers(self._round):
+                if self._rng.random() < fault.failure_rate:
+                    self.stats.provisioning_refusals += 1
+                    return f"flaky provisioning (round {self._round})"
+        return None
+
+    # -- message-level faults --------------------------------------------------
+
+    def _on_message(self, src: int, dst: int, round_number: int) -> Optional[str]:
+        """Decide whether to drop one message; returns the cause, or None.
+
+        Deterministic faults (partition, eclipse) are checked before
+        probabilistic ones so they never consume an rng draw — the drop
+        pattern of one fault does not shift another fault's stream more
+        than its own activity does.
+        """
+        cause = self._drop_cause(src, dst, round_number)
+        if cause is not None:
+            self.stats.drops_by_cause[cause] += 1
+        return cause
+
+    def _drop_cause(self, src: int, dst: int, round_number: int) -> Optional[str]:
+        for fault in self._partitions:
+            if fault.window.covers(round_number) and (
+                (src in fault.group_a and dst in fault.group_b)
+                or (src in fault.group_b and dst in fault.group_a)
+            ):
+                return "partition"
+        for fault in self._eclipses:
+            if not fault.window.covers(round_number):
+                continue
+            if src == fault.victim and dst not in fault.allowed:
+                return "eclipse"
+            if dst == fault.victim and src not in fault.allowed:
+                return "eclipse"
+        for fault in self._omissions:
+            if fault.window.covers(round_number) and src == fault.node_id:
+                if fault.drop_rate >= 1.0 or self._rng.random() < fault.drop_rate:
+                    return "omission"
+        for fault in self._link_faults:
+            if not fault.window.covers(round_number):
+                continue
+            if (src, dst) == (fault.src, fault.dst) or (
+                fault.bidirectional and (src, dst) == (fault.dst, fault.src)
+            ):
+                if fault.loss_rate >= 1.0 or self._rng.random() < fault.loss_rate:
+                    return "link-loss"
+        for fault in self._bursts:
+            if fault.window.covers(round_number):
+                if self._rng.random() < fault.loss_rate:
+                    return "loss-burst"
+        return None

@@ -1,0 +1,313 @@
+"""Declarative fault plans: what breaks, where, and when.
+
+A :class:`FaultPlan` is a validated, immutable list of fault declarations
+spanning the three layers the simulator can break:
+
+* **network** — :class:`LinkFault` (per-link, per-direction loss),
+  :class:`PartitionFault` (cut between two node groups),
+  :class:`EclipseFault` (isolate a victim except for chosen peers),
+  :class:`LossBurstFault` (elevated global loss for a round burst);
+* **node** — :class:`CrashRestartFault` (node down for k rounds, enclave
+  state lost), :class:`OmissionFault` (alive but silently dropping its own
+  sends);
+* **SGX** — :class:`AttestationOutageFault` (the attestation service
+  refuses quotes for a window), :class:`ProvisioningFlakinessFault`
+  (probabilistic provisioning refusals), :class:`EnclaveCrashFault`,
+  :class:`SealedBlobCorruptionFault`, :class:`DeviceRevocationFault`.
+
+Plans are pure data — the :mod:`repro.faults.injector` interprets them
+against a running simulation.  All probabilistic faults draw from the
+injector's own seeded RNG, never from the protocol streams, so adding a
+fault plan perturbs a run only through the faults themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+__all__ = [
+    "RoundWindow",
+    "Fault",
+    "LinkFault",
+    "PartitionFault",
+    "EclipseFault",
+    "LossBurstFault",
+    "CrashRestartFault",
+    "OmissionFault",
+    "AttestationOutageFault",
+    "ProvisioningFlakinessFault",
+    "EnclaveCrashFault",
+    "SealedBlobCorruptionFault",
+    "DeviceRevocationFault",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class RoundWindow:
+    """Inclusive range of simulation rounds a fault is active in."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 1:
+            raise ValueError("fault windows start at round 1")
+        if self.end < self.start:
+            raise ValueError("window end must be >= start")
+
+    def covers(self, round_number: int) -> bool:
+        return self.start <= round_number <= self.end
+
+    def describe(self) -> str:
+        if self.start == self.end:
+            return f"round {self.start}"
+        return f"rounds {self.start}-{self.end}"
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Base class; concrete faults add their parameters."""
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on inconsistent parameters."""
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+def _check_rate(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+@dataclass(frozen=True)
+class LinkFault(Fault):
+    """Per-link loss override for one direction (or both)."""
+
+    src: int
+    dst: int
+    window: RoundWindow
+    loss_rate: float = 1.0
+    bidirectional: bool = False
+
+    def validate(self) -> None:
+        _check_rate("loss_rate", self.loss_rate)
+        if self.src == self.dst:
+            raise ValueError("a link fault needs two distinct endpoints")
+
+    def describe(self) -> str:
+        arrow = "<->" if self.bidirectional else "->"
+        return (f"link {self.src}{arrow}{self.dst} loses "
+                f"{self.loss_rate:.0%} ({self.window.describe()})")
+
+
+@dataclass(frozen=True)
+class PartitionFault(Fault):
+    """Cut every message between two disjoint node groups."""
+
+    group_a: FrozenSet[int]
+    group_b: FrozenSet[int]
+    window: RoundWindow
+
+    def validate(self) -> None:
+        if not self.group_a or not self.group_b:
+            raise ValueError("partition groups must be non-empty")
+        if self.group_a & self.group_b:
+            raise ValueError("partition groups must be disjoint")
+
+    def describe(self) -> str:
+        return (f"partition {len(self.group_a)}|{len(self.group_b)} nodes "
+                f"({self.window.describe()})")
+
+
+@dataclass(frozen=True)
+class EclipseFault(Fault):
+    """Isolate one victim: only traffic with ``allowed`` peers survives."""
+
+    victim: int
+    window: RoundWindow
+    allowed: FrozenSet[int] = frozenset()
+
+    def validate(self) -> None:
+        if self.victim in self.allowed:
+            raise ValueError("the victim cannot be its own allowed peer")
+
+    def describe(self) -> str:
+        return (f"eclipse node {self.victim} (allowed {len(self.allowed)} "
+                f"peers, {self.window.describe()})")
+
+
+@dataclass(frozen=True)
+class LossBurstFault(Fault):
+    """Elevated message loss on every link during the window."""
+
+    window: RoundWindow
+    loss_rate: float
+
+    def validate(self) -> None:
+        _check_rate("loss_rate", self.loss_rate)
+
+    def describe(self) -> str:
+        return f"loss burst {self.loss_rate:.0%} ({self.window.describe()})"
+
+
+@dataclass(frozen=True)
+class CrashRestartFault(Fault):
+    """Node goes down at ``at_round`` and comes back ``down_rounds`` later.
+
+    With ``crash_enclave`` (the default for trusted nodes) the in-memory
+    enclave dies with the process — on restart the node is degraded until
+    the recovery manager restores K_T from sealed storage or re-attests.
+    """
+
+    node_id: int
+    at_round: int
+    down_rounds: int
+    crash_enclave: bool = True
+
+    def validate(self) -> None:
+        if self.at_round < 1:
+            raise ValueError("at_round must be >= 1")
+        if self.down_rounds < 1:
+            raise ValueError("down_rounds must be >= 1")
+
+    def describe(self) -> str:
+        return (f"crash node {self.node_id} at round {self.at_round} "
+                f"for {self.down_rounds} round(s)")
+
+
+@dataclass(frozen=True)
+class OmissionFault(Fault):
+    """Node stays alive but silently drops its own outgoing messages."""
+
+    node_id: int
+    window: RoundWindow
+    drop_rate: float = 1.0
+
+    def validate(self) -> None:
+        _check_rate("drop_rate", self.drop_rate)
+
+    def describe(self) -> str:
+        return (f"node {self.node_id} omits {self.drop_rate:.0%} of sends "
+                f"({self.window.describe()})")
+
+
+@dataclass(frozen=True)
+class AttestationOutageFault(Fault):
+    """The attestation service refuses every quote during the window."""
+
+    window: RoundWindow
+
+    def describe(self) -> str:
+        return f"attestation outage ({self.window.describe()})"
+
+
+@dataclass(frozen=True)
+class ProvisioningFlakinessFault(Fault):
+    """Each provisioning request fails with ``failure_rate`` in the window."""
+
+    window: RoundWindow
+    failure_rate: float
+
+    def validate(self) -> None:
+        _check_rate("failure_rate", self.failure_rate)
+
+    def describe(self) -> str:
+        return (f"provisioning fails {self.failure_rate:.0%} "
+                f"({self.window.describe()})")
+
+
+@dataclass(frozen=True)
+class EnclaveCrashFault(Fault):
+    """The node's enclave instance dies (the host process survives)."""
+
+    node_id: int
+    at_round: int
+
+    def validate(self) -> None:
+        if self.at_round < 1:
+            raise ValueError("at_round must be >= 1")
+
+    def describe(self) -> str:
+        return f"enclave of node {self.node_id} crashes at round {self.at_round}"
+
+
+@dataclass(frozen=True)
+class SealedBlobCorruptionFault(Fault):
+    """Bit-rot in a node's sealed K_T blob: the next restore must fail."""
+
+    node_id: int
+    at_round: int
+
+    def validate(self) -> None:
+        if self.at_round < 1:
+            raise ValueError("at_round must be >= 1")
+
+    def describe(self) -> str:
+        return f"sealed blob of node {self.node_id} corrupted at round {self.at_round}"
+
+
+@dataclass(frozen=True)
+class DeviceRevocationFault(Fault):
+    """The attestation authority revokes a node's SGX device mid-run."""
+
+    node_id: int
+    at_round: int
+
+    def validate(self) -> None:
+        if self.at_round < 1:
+            raise ValueError("at_round must be >= 1")
+
+    def describe(self) -> str:
+        return f"device of node {self.node_id} revoked at round {self.at_round}"
+
+
+#: Fault classes that require a :class:`~repro.core.deployment.TrustedInfrastructure`
+#: (and a recovery manager) to be interpretable.
+SGX_FAULTS = (
+    AttestationOutageFault,
+    ProvisioningFlakinessFault,
+    EnclaveCrashFault,
+    SealedBlobCorruptionFault,
+    DeviceRevocationFault,
+)
+
+
+class FaultPlan:
+    """An immutable, validated collection of fault declarations."""
+
+    def __init__(self, faults: Iterable[Fault] = ()):
+        self._faults: Tuple[Fault, ...] = tuple(faults)
+        self.validate()
+
+    @property
+    def faults(self) -> Tuple[Fault, ...]:
+        return self._faults
+
+    def validate(self) -> None:
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise TypeError(f"not a fault: {fault!r}")
+            fault.validate()
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def of_type(self, fault_type: type) -> Tuple[Fault, ...]:
+        return tuple(f for f in self.faults if isinstance(f, fault_type))
+
+    @property
+    def needs_sgx(self) -> bool:
+        return any(isinstance(f, SGX_FAULTS) for f in self.faults)
+
+    def describe(self) -> str:
+        if not self.faults:
+            return "empty fault plan"
+        lines = [f"fault plan ({len(self.faults)} fault(s)):"]
+        lines.extend(f"  - {fault.describe()}" for fault in self.faults)
+        return "\n".join(lines)

@@ -28,6 +28,7 @@ from repro.sgx.cycles import (
 from repro.sgx.enclave import Enclave, EnclaveHost, SgxDevice, ecall
 from repro.sgx.errors import (
     AttestationError,
+    EnclaveUnavailable,
     EnclaveViolation,
     ProvisioningError,
     SealingError,
@@ -49,6 +50,7 @@ __all__ = [
     "SgxDevice",
     "ecall",
     "AttestationError",
+    "EnclaveUnavailable",
     "EnclaveViolation",
     "ProvisioningError",
     "SealingError",

@@ -21,15 +21,22 @@ __all__ = ["AttestationService"]
 class AttestationService:
     """Verifies attestation quotes from registered devices.
 
-    A quote passes iff (1) the device is registered and not revoked,
-    (2) the device signature over (measurement, report_data, device_id)
-    verifies, and (3) the measurement is in the trusted set.
+    A quote passes iff (1) the service is reachable, (2) the device is
+    registered and not revoked, (3) the device signature over
+    (measurement, report_data, device_id) verifies, and (4) the measurement
+    is in the trusted set.
+
+    The service can be taken offline (:meth:`set_available`) to model an
+    attestation-infrastructure outage — while down, every verification
+    fails, so no new enclave can be provisioned (sealed-storage restores
+    keep working, they never contact the service).
     """
 
     def __init__(self) -> None:
         self._device_keys: Dict[int, RsaPublicKey] = {}
         self._revoked_devices: Set[int] = set()
         self._trusted_measurements: Set[bytes] = set()
+        self._available = True
 
     # -- registry management ------------------------------------------------
 
@@ -50,10 +57,22 @@ class AttestationService:
     def is_trusted_measurement(self, measurement: Measurement) -> bool:
         return measurement.digest in self._trusted_measurements
 
+    # -- availability (fault injection) --------------------------------------
+
+    @property
+    def available(self) -> bool:
+        return self._available
+
+    def set_available(self, available: bool) -> None:
+        """Start or end a service outage window."""
+        self._available = available
+
     # -- verification ---------------------------------------------------------
 
     def verify_quote(self, quote: Quote) -> None:
         """Verify ``quote``; raises :class:`AttestationError` on any failure."""
+        if not self._available:
+            raise AttestationError("attestation service is unavailable (outage)")
         if quote.device_id in self._revoked_devices:
             raise AttestationError(f"device {quote.device_id} is revoked")
         device_key = self._device_keys.get(quote.device_id)

@@ -19,7 +19,7 @@ from typing import Any, Callable, Optional, TypeVar
 from repro.crypto.hashing import hkdf, sha256
 from repro.crypto.prng import Sha256Prng
 from repro.crypto.rsa import RsaKeyPair, generate_keypair
-from repro.sgx.errors import EnclaveViolation
+from repro.sgx.errors import EnclaveUnavailable, EnclaveViolation
 from repro.sgx.measurement import Measurement, Quote, measure_class
 
 __all__ = ["ecall", "Enclave", "EnclaveHost", "SgxDevice"]
@@ -129,15 +129,30 @@ class EnclaveHost:
     Only ``@ecall`` methods are reachable; anything else raises
     :class:`EnclaveViolation`.  The host counts boundary crossings so the
     Table-I micro-benchmark can report per-ECALL costs.
+
+    A host can also :meth:`crash`, modelling the enclave dying with its
+    process (or an unrecoverable EPC-loss event): every subsequent ECALL
+    raises :class:`EnclaveUnavailable` and all volatile enclave state must
+    be considered lost.  Recovery means loading a *fresh* enclave on the
+    same device and restoring sealed state or re-attesting.
     """
 
     def __init__(self, enclave: Enclave):
         object.__setattr__(self, "_enclave", enclave)
         object.__setattr__(self, "ecall_count", 0)
+        object.__setattr__(self, "_crashed", False)
 
     @property
     def measurement(self) -> Measurement:
         return self._enclave.measurement
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Kill the enclave instance (fault injection / process death)."""
+        object.__setattr__(self, "_crashed", True)
 
     def __getattr__(self, name: str) -> Any:
         enclave = object.__getattribute__(self, "_enclave")
@@ -154,6 +169,11 @@ class EnclaveHost:
             )
 
         def _ecall_proxy(*args: Any, **kwargs: Any) -> Any:
+            if object.__getattribute__(self, "_crashed"):
+                raise EnclaveUnavailable(
+                    f"{type(enclave).__name__}.{name}: enclave instance has "
+                    f"crashed; load a fresh one on its device"
+                )
             object.__setattr__(self, "ecall_count", self.ecall_count + 1)
             return attribute(enclave, *args, **kwargs)
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 __all__ = [
     "SgxError",
     "EnclaveViolation",
+    "EnclaveUnavailable",
     "AttestationError",
     "SealingError",
     "ProvisioningError",
@@ -18,6 +19,14 @@ class SgxError(Exception):
 class EnclaveViolation(SgxError):
     """Raised when untrusted code tries to cross the enclave boundary
     other than through a registered ECALL."""
+
+
+class EnclaveUnavailable(SgxError):
+    """Raised when an ECALL reaches an enclave that has crashed.
+
+    Real enclaves die with their host process (and on EPC loss events such
+    as S3 sleep); every volatile secret is gone and the host must load a
+    fresh instance, then restore sealed state or re-attest."""
 
 
 class AttestationError(SgxError):

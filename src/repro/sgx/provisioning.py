@@ -11,6 +11,8 @@ enclave key — so K_T never exists in untrusted memory.
 
 from __future__ import annotations
 
+from typing import Callable, Optional
+
 from repro.crypto.hashing import constant_time_equal
 from repro.crypto.prng import Sha256Prng
 from repro.crypto.rsa import RsaPublicKey
@@ -31,7 +33,19 @@ class GroupKeyProvisioner:
         self._attestation = attestation
         self._group_key = group_key
         self._rng = rng
+        self._fault_hook: Optional[Callable[[], Optional[str]]] = None
         self.provisioned_count = 0
+        self.refused_count = 0
+
+    def set_fault_hook(self, hook: Optional[Callable[[], Optional[str]]]) -> None:
+        """Install (or clear) a fault-injection gate.
+
+        The hook runs before every provisioning attempt; returning a string
+        makes the attempt fail with that reason — the deterministic stand-in
+        for transient infrastructure failures (rate limiting, TLS resets,
+        backend flakiness) that real provisioning services exhibit.
+        """
+        self._fault_hook = hook
 
     def provision(self, quote: Quote, enclave_public_key: RsaPublicKey) -> bytes:
         """Verify attestation and return Enc_RSA(K_T) for the enclave key.
@@ -39,6 +53,11 @@ class GroupKeyProvisioner:
         Raises :class:`ProvisioningError` if the quote does not verify or if
         ``enclave_public_key`` is not the key bound into the quote.
         """
+        if self._fault_hook is not None:
+            reason = self._fault_hook()
+            if reason:
+                self.refused_count += 1
+                raise ProvisioningError(f"injected fault: {reason}")
         binding = report_data_binding(enclave_public_key)
         if not constant_time_equal(quote.report_data[: len(binding)], binding):
             raise ProvisioningError("public key is not bound into the quote")

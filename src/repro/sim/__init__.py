@@ -13,7 +13,7 @@ from repro.sim.churn import (
     NoChurn,
     UniformChurn,
 )
-from repro.sim.engine import Observer, RoundContext, Simulation
+from repro.sim.engine import FaultController, Observer, RoundContext, Simulation
 from repro.sim.messages import (
     AuthChallenge,
     AuthConfirm,
@@ -37,6 +37,7 @@ __all__ = [
     "ChurnModel",
     "NoChurn",
     "UniformChurn",
+    "FaultController",
     "Observer",
     "RoundContext",
     "Simulation",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 __all__ = ["ChurnEvent", "ChurnModel", "NoChurn", "UniformChurn", "CatastrophicFailure"]
 
@@ -29,12 +29,27 @@ class ChurnModel:
     def events_for_round(self, round_number: int, alive_ids: Sequence[int], rng: random.Random) -> ChurnEvent:
         raise NotImplementedError
 
+    @property
+    def may_produce_arrivals(self) -> Optional[bool]:
+        """Whether this model can ever emit arrivals.
+
+        ``True``/``False`` let :class:`~repro.sim.engine.Simulation` validate
+        the ``node_factory`` requirement at construction time; ``None``
+        (the base-class default) means "unknown" and defers the check to the
+        round in which arrivals actually appear.
+        """
+        return None
+
 
 class NoChurn(ChurnModel):
     """Static membership (the paper's evaluation setting)."""
 
     def events_for_round(self, round_number, alive_ids, rng):
         return ChurnEvent(departures=[], arrivals=0)
+
+    @property
+    def may_produce_arrivals(self) -> bool:
+        return False
 
 
 class UniformChurn(ChurnModel):
@@ -53,6 +68,10 @@ class UniformChurn(ChurnModel):
         departures = [node for node in alive_ids if rng.random() < self.leave_rate]
         arrivals = int(round(self.join_rate * len(alive_ids)))
         return ChurnEvent(departures=departures, arrivals=arrivals)
+
+    @property
+    def may_produce_arrivals(self) -> bool:
+        return self.join_rate > 0.0
 
 
 class CatastrophicFailure(ChurnModel):
@@ -73,3 +92,7 @@ class CatastrophicFailure(ChurnModel):
             return ChurnEvent(departures=[], arrivals=0)
         count = int(len(alive_ids) * self.fraction)
         return ChurnEvent(departures=rng.sample(list(alive_ids), count), arrivals=0)
+
+    @property
+    def may_produce_arrivals(self) -> bool:
+        return False

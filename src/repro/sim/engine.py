@@ -18,14 +18,14 @@ iteration order and therefore reproducible under a seed.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.sim.churn import ChurnModel, NoChurn
 from repro.sim.messages import Message
 from repro.sim.network import Network
 from repro.sim.node import NodeBase, NodeKind
 
-__all__ = ["RoundContext", "Observer", "Simulation"]
+__all__ = ["RoundContext", "Observer", "FaultController", "Simulation"]
 
 
 class RoundContext:
@@ -53,6 +53,18 @@ class Observer:
         raise NotImplementedError
 
 
+class FaultController:
+    """Hook invoked at the start of every round, before any node acts.
+
+    The fault layer (:mod:`repro.faults`) uses it to crash/restart nodes,
+    toggle SGX-infrastructure outages and drive enclave recovery.  Exactly
+    one controller can be installed per simulation.
+    """
+
+    def on_round_start(self, simulation: "Simulation") -> None:
+        raise NotImplementedError
+
+
 class Simulation:
     """Drives a population of :class:`NodeBase` through synchronous rounds."""
 
@@ -69,8 +81,18 @@ class Simulation:
         self._rng = rng
         self._churn = churn or NoChurn()
         self._node_factory = node_factory
+        if self._node_factory is None and self._churn.may_produce_arrivals:
+            raise ValueError(
+                f"churn model {type(self._churn).__name__} produces arrivals; "
+                f"a node_factory is required to build the joining nodes"
+            )
+        self._fault_controller: Optional[FaultController] = None
         self.round_number = 0
         self._next_node_id = 0
+        #: Every node ID that was ever part of the membership (departed ones
+        #: included) — the reference set for "views never cite a node that
+        #: never existed" invariant checks.
+        self.ever_registered: Set[int] = set()
         for node in nodes:
             self.add_node(node)
 
@@ -80,6 +102,7 @@ class Simulation:
         self.nodes[node.node_id] = node
         self.network.register(node)
         self._next_node_id = max(self._next_node_id, node.node_id + 1)
+        self.ever_registered.add(node.node_id)
         self._invalidate_kind_cache()
 
     def remove_node(self, node_id: int) -> None:
@@ -88,6 +111,21 @@ class Simulation:
             node.alive = False
         self.network.unregister(node_id)
         self._invalidate_kind_cache()
+
+    def set_node_alive(self, node_id: int, alive: bool) -> None:
+        """Toggle a node's liveness in place (crash / restart).
+
+        Unlike :meth:`remove_node`, the node stays registered: messages to
+        it are dropped while it is down, and it resumes with its pre-crash
+        protocol state when revived.  Goes through the engine so the
+        kind-query caches stay coherent.
+        """
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"no node {node_id} in the simulation")
+        if node.alive != alive:
+            node.alive = alive
+            self._invalidate_kind_cache()
 
     def alive_nodes(self) -> List[NodeBase]:
         return [node for node in self.nodes.values() if node.alive]
@@ -123,6 +161,12 @@ class Simulation:
             if node.alive and not node.kind.is_byzantine
         ]
 
+    # -- fault layer -----------------------------------------------------------
+
+    def set_fault_controller(self, controller: Optional[FaultController]) -> None:
+        """Install (or clear, with ``None``) the round-start fault hook."""
+        self._fault_controller = controller
+
     # -- execution -------------------------------------------------------------
 
     def _apply_churn(self) -> None:
@@ -132,7 +176,11 @@ class Simulation:
         for node_id in event.departures:
             self.remove_node(node_id)
         if event.arrivals and self._node_factory is None:
-            raise RuntimeError("churn model produced arrivals but no node_factory is set")
+            raise RuntimeError(
+                f"churn model {type(self._churn).__name__} produced "
+                f"{event.arrivals} arrival(s) at round {self.round_number} "
+                f"but no node_factory is set"
+            )
         for _ in range(event.arrivals):
             new_node = self._node_factory(self._next_node_id)
             self.add_node(new_node)
@@ -142,6 +190,8 @@ class Simulation:
         self.round_number += 1
         self.network.current_round = self.round_number
         self._apply_churn()
+        if self._fault_controller is not None:
+            self._fault_controller.on_round_start(self)
         ctx = RoundContext(self, self.round_number)
 
         alive = self.alive_nodes()

@@ -5,28 +5,37 @@ request-response sessions (pull, auth, trusted swap).  It models:
 
 * message loss (``loss_rate``), applied independently per message;
 * node failure (messages to dead nodes are dropped);
+* injected faults — an installed fault hook (see
+  :class:`repro.faults.injector.FaultInjector`) is consulted per message and
+  per direction, which is how partitions, eclipse cuts, per-link loss
+  overrides, loss bursts and omission nodes are realised;
 * optional transport encryption — the paper encrypts *all* pairwise
   communication with symmetric keys against an eavesdropping adversary
   (§III-B).  When enabled, every payload is serialized and AES-CTR-encrypted
   under a per-pair key; this verifies the crypto path but is off by default
   in large sweeps for speed (it changes no protocol-visible behaviour).
 
-All traffic is counted, giving experiments message-complexity statistics.
+All traffic is counted — total and per round — giving experiments
+message-complexity statistics and fault drills their loss-burst charts.
 """
 
 from __future__ import annotations
 
 import pickle
 import random
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from repro.crypto.ctr import AesCtr
 from repro.crypto.hashing import hkdf
 from repro.sim.messages import Message
 from repro.sim.node import NodeBase
 
-__all__ = ["Network", "NetworkStats"]
+__all__ = ["Network", "NetworkStats", "FaultHook"]
+
+#: Per-message injection gate: ``(src, dst, round_number)`` → truthy to drop.
+FaultHook = Callable[[int, int, int], object]
 
 
 @dataclass
@@ -39,7 +48,9 @@ class NetworkStats:
     replies_delivered: int = 0
     messages_lost: int = 0
     bytes_encrypted: int = 0
-    per_round_pushes: Dict[int, int] = field(default_factory=dict)
+    per_round_pushes: Counter = field(default_factory=Counter)
+    per_round_requests: Counter = field(default_factory=Counter)
+    per_round_losses: Counter = field(default_factory=Counter)
 
 
 class Network:
@@ -61,6 +72,7 @@ class Network:
         self._transport_secret = transport_secret
         self._pair_keys: Dict[Tuple[int, int], bytes] = {}
         self._nonce_counter = 0
+        self._fault_hook: Optional[FaultHook] = None
         self.stats = NetworkStats()
         self.current_round = 0
 
@@ -73,6 +85,11 @@ class Network:
 
     def unregister(self, node_id: int) -> None:
         self._nodes.pop(node_id, None)
+        # Departed nodes never talk again; dropping their pair keys keeps
+        # long churny encrypted runs from accumulating dead key material.
+        stale = [pair for pair in self._pair_keys if node_id in pair]
+        for pair in stale:
+            del self._pair_keys[pair]
 
     def node(self, node_id: int) -> Optional[NodeBase]:
         return self._nodes.get(node_id)
@@ -80,6 +97,17 @@ class Network:
     def is_reachable(self, node_id: int) -> bool:
         node = self._nodes.get(node_id)
         return node is not None and node.alive
+
+    # -- fault injection -------------------------------------------------------
+
+    def install_fault_hook(self, hook: Optional[FaultHook]) -> None:
+        """Install (or clear, with ``None``) the per-message injection gate."""
+        self._fault_hook = hook
+
+    def _fault_dropped(self, src: int, dst: int) -> bool:
+        return self._fault_hook is not None and bool(
+            self._fault_hook(src, dst, self.current_round)
+        )
 
     # -- encryption ------------------------------------------------------------
 
@@ -110,14 +138,16 @@ class Network:
     def _lost(self) -> bool:
         return self._loss_rate > 0.0 and self._rng.random() < self._loss_rate
 
+    def _count_loss(self) -> None:
+        self.stats.messages_lost += 1
+        self.stats.per_round_losses[self.current_round] += 1
+
     def send_push(self, src: int, dst: int) -> bool:
         """Deliver a push from ``src`` to ``dst``; returns delivery success."""
         self.stats.pushes_sent += 1
-        self.stats.per_round_pushes[self.current_round] = (
-            self.stats.per_round_pushes.get(self.current_round, 0) + 1
-        )
-        if self._lost() or not self.is_reachable(dst):
-            self.stats.messages_lost += 1
+        self.stats.per_round_pushes[self.current_round] += 1
+        if self._fault_dropped(src, dst) or self._lost() or not self.is_reachable(dst):
+            self._count_loss()
             return False
         self._nodes[dst].on_push(src)
         self.stats.pushes_delivered += 1
@@ -126,15 +156,16 @@ class Network:
     def request(self, src: int, dst: int, message: Message) -> Optional[Message]:
         """Synchronous request-response; ``None`` on loss or dead peer."""
         self.stats.requests_sent += 1
-        if self._lost() or not self.is_reachable(dst):
-            self.stats.messages_lost += 1
+        self.stats.per_round_requests[self.current_round] += 1
+        if self._fault_dropped(src, dst) or self._lost() or not self.is_reachable(dst):
+            self._count_loss()
             return None
         delivered = self._through_wire(src, dst, message)
         reply = self._nodes[dst].handle_request(delivered)
         if reply is None:
             return None
-        if self._lost():
-            self.stats.messages_lost += 1
+        if self._fault_dropped(dst, src) or self._lost():
+            self._count_loss()
             return None
         self.stats.replies_delivered += 1
         return self._through_wire(dst, src, reply)

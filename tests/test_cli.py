@@ -67,3 +67,25 @@ class TestCommands:
         assert exit_code == 0
         out = capsys.readouterr().out
         assert "precision" in out and "F1" in out
+
+
+class TestFaultsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.drill == "enclave-outage"
+        assert args.nodes == 200
+        assert args.rounds == 50
+
+    def test_unknown_drill_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--drill", "nope"])
+
+    def test_drill_smoke(self, capsys):
+        exit_code = main([
+            "faults", "--drill", "enclave-outage",
+            "--nodes", "60", "--rounds", "12", "--seed", "2",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "fault drill:        enclave-outage" in out
+        assert "0 violation(s)" in out

@@ -71,7 +71,8 @@ class TestEvictionArithmetic:
         node = RapteeNode.__new__(RapteeNode)
         BrahmsNode.__init__(node, 0, NodeKind.TRUSTED, config.brahms, random.Random(seed))
         node.raptee_config = config
-        node.trusted = True
+        node._trusted_role = True
+        node.degraded = False
         node._unbiaser = None
         node._pulled = [PulledBatch(source=1, ids=tuple(range(100, 100 + pool_size)))]
         node._id_contacts = 1

@@ -1,0 +1,110 @@
+"""SGX failure modes and their combinations (crash, outage, rot, revocation)."""
+
+import pytest
+
+from repro.sgx.errors import EnclaveUnavailable, ProvisioningError, SealingError
+
+
+class TestEnclaveCrash:
+    def test_ecall_after_crash_raises(self, infrastructure):
+        host, _device = infrastructure.new_trusted_enclave(1)
+        assert not host.crashed
+        host.crash()
+        assert host.crashed
+        with pytest.raises(EnclaveUnavailable, match="crashed"):
+            host.is_provisioned()
+        with pytest.raises(EnclaveUnavailable):
+            host.seal_group_key()
+
+    def test_fresh_enclave_on_same_device_works(self, infrastructure):
+        host, _device = infrastructure.new_trusted_enclave(1)
+        blob = host.seal_group_key()
+        host.crash()
+        fresh = infrastructure.reload_enclave(1)
+        assert not fresh.crashed
+        assert not fresh.is_provisioned()
+        fresh.restore_group_key(blob)
+        assert fresh.is_provisioned()
+
+
+class TestAttestationOutage:
+    def test_outage_blocks_provisioning(self, infrastructure):
+        infrastructure.new_trusted_enclave(1)
+        infrastructure.attestation.set_available(False)
+        assert not infrastructure.attestation.available
+        fresh = infrastructure.reload_enclave(1)
+        with pytest.raises(ProvisioningError, match="unavailable"):
+            infrastructure.provision_host(fresh)
+
+    def test_outage_lifts(self, infrastructure):
+        infrastructure.new_trusted_enclave(1)
+        infrastructure.attestation.set_available(False)
+        infrastructure.attestation.set_available(True)
+        fresh = infrastructure.reload_enclave(1)
+        infrastructure.provision_host(fresh)
+        assert fresh.is_provisioned()
+
+
+class TestSealedBlobCorruption:
+    def test_corrupted_blob_fails_then_reattestation_recovers(
+        self, infrastructure
+    ):
+        # The satellite combo: corruption -> unseal failure -> the node can
+        # still recover with a full re-attestation.
+        host, _device = infrastructure.new_trusted_enclave(1)
+        blob = host.seal_group_key()
+        corrupted = blob[:-1] + bytes([blob[-1] ^ 0xFF])
+        host.crash()
+
+        fresh = infrastructure.reload_enclave(1)
+        with pytest.raises(SealingError):
+            fresh.restore_group_key(corrupted)
+        assert not fresh.is_provisioned()
+
+        infrastructure.provision_host(fresh)
+        assert fresh.is_provisioned()
+
+
+class TestDeviceRevocation:
+    def test_revocation_spares_existing_key_but_blocks_reprovisioning(
+        self, infrastructure, prng
+    ):
+        # The satellite combo: after revocation the provisioned group key
+        # keeps working (the enclave already holds K_T) and sealed restore
+        # still works (sealing is device-local) — but any future
+        # attestation round-trip is dead.
+        host, _device = infrastructure.new_trusted_enclave(1)
+        peer, _peer_device = infrastructure.new_trusted_enclave(2)
+        infrastructure.attestation.revoke_device(1)
+
+        # K_T still in use: a sealed round-trip and a mutual auth succeed.
+        blob = host.seal_group_key()
+        restored = infrastructure.reload_enclave(1)
+        restored.restore_group_key(blob)
+        assert restored.is_provisioned()
+        r_a = b"\x07" * 16
+        r_b, proof = restored.auth_respond(r_a)
+        assert peer.auth_check_response(r_a, r_b, proof)
+
+        # But the revoked device can never re-attest.
+        fresh = infrastructure.reload_enclave(1)
+        with pytest.raises(ProvisioningError, match="attestation failed"):
+            infrastructure.provision_host(fresh)
+
+
+class TestProvisioningFlakiness:
+    def test_fault_hook_refuses_with_reason(self, infrastructure):
+        infrastructure.new_trusted_enclave(1)
+        infrastructure.provisioner.set_fault_hook(lambda: "rate limited")
+        fresh = infrastructure.reload_enclave(1)
+        with pytest.raises(ProvisioningError, match="injected fault: rate limited"):
+            infrastructure.provision_host(fresh)
+        assert infrastructure.provisioner.refused_count == 1
+
+    def test_hook_cleared_restores_service(self, infrastructure):
+        infrastructure.new_trusted_enclave(1)
+        infrastructure.provisioner.set_fault_hook(lambda: "down")
+        infrastructure.provisioner.set_fault_hook(None)
+        fresh = infrastructure.reload_enclave(1)
+        infrastructure.provision_host(fresh)
+        assert fresh.is_provisioned()

@@ -113,9 +113,24 @@ class TestChurn:
         sim.run(3)
         assert len(sim.alive_nodes()) == 5
 
-    def test_uniform_churn_arrivals_need_factory(self):
-        sim, _log = make_sim(n=5, churn=UniformChurn(leave_rate=0.0, join_rate=0.5))
-        with pytest.raises(RuntimeError):
+    def test_uniform_churn_arrivals_rejected_at_construction(self):
+        # A model that declares it produces arrivals is caught before the
+        # run starts, not 40 rounds in.
+        with pytest.raises(ValueError, match="node_factory"):
+            make_sim(n=5, churn=UniformChurn(leave_rate=0.0, join_rate=0.5))
+
+    def test_unknown_churn_arrivals_fail_at_runtime_with_round(self):
+        # A model with unknown arrival behaviour defers the check to the
+        # round in which arrivals actually appear; the error names it.
+        class SurpriseArrivals(UniformChurn):
+            @property
+            def may_produce_arrivals(self):
+                return None
+
+        sim, _log = make_sim(
+            n=5, churn=SurpriseArrivals(leave_rate=0.0, join_rate=0.5)
+        )
+        with pytest.raises(RuntimeError, match="round 1"):
             sim.run_round()
 
     def test_uniform_churn_with_factory_grows(self):

@@ -130,3 +130,83 @@ class TestEncryptedTransport:
         network = Network(rng, encrypt=True, transport_secret=b"s" * 16)
         assert network._pair_key(1, 2) == network._pair_key(2, 1)
         assert network._pair_key(1, 2) != network._pair_key(1, 3)
+
+
+class TestPerRoundCounters:
+    def test_requests_and_losses_counted_per_round(self):
+        network = Network(random.Random(2), loss_rate=0.5)
+        a, b = EchoNode(1), EchoNode(2)
+        network.register(a)
+        network.register(b)
+        network.current_round = 4
+        for _ in range(60):
+            network.request(1, 2, PullRequest(sender=1))
+        network.current_round = 5
+        for _ in range(40):
+            network.request(1, 2, PullRequest(sender=1))
+        stats = network.stats
+        assert stats.per_round_requests[4] == 60
+        assert stats.per_round_requests[5] == 40
+        assert stats.requests_sent == 100
+        # Every loss lands in the round it happened in, and the per-round
+        # counters sum to the lifetime total.
+        assert sum(stats.per_round_losses.values()) == stats.messages_lost
+        assert stats.messages_lost > 0
+
+    def test_dense_series_and_peak_readers(self):
+        from repro.analysis.metrics import peak_round, per_round_series
+
+        network = Network(random.Random(0))
+        a, b = EchoNode(1), EchoNode(2)
+        network.register(a)
+        network.register(b)
+        network.current_round = 2
+        network.send_push(1, 2)
+        network.current_round = 4
+        network.send_push(1, 2)
+        network.send_push(2, 1)
+        assert per_round_series(network.stats.per_round_pushes, 5) == [0, 1, 0, 2, 0]
+        assert peak_round(network.stats.per_round_pushes) == (4, 2)
+        assert peak_round({}) is None
+
+
+class ChurnChatterNode(EchoNode):
+    """Echo node that actually gossips, so encrypted pair keys get minted."""
+
+    def gossip(self, ctx):
+        for peer in sorted(ctx.network._nodes):
+            if peer != self.node_id:
+                ctx.request(self.node_id, peer, PullRequest(sender=self.node_id))
+
+
+class TestPairKeyPruning:
+    def test_unregister_prunes_pair_keys(self, rng):
+        network = Network(rng, encrypt=True, transport_secret=b"s" * 16)
+        for node_id in (1, 2, 3):
+            network.register(EchoNode(node_id))
+        network.request(1, 2, PullRequest(sender=1))
+        network.request(1, 3, PullRequest(sender=1))
+        network.request(2, 3, PullRequest(sender=2))
+        assert len(network._pair_keys) == 3
+        network.unregister(2)
+        assert all(2 not in pair for pair in network._pair_keys)
+        assert len(network._pair_keys) == 1
+
+    def test_churny_encrypted_run_does_not_leak_keys(self):
+        # Regression: departed nodes' pair keys used to accumulate forever
+        # under churn, which on long encrypted runs is a memory leak.
+        from repro.sim.churn import UniformChurn
+        from repro.sim.engine import Simulation
+
+        network = Network(random.Random(3), encrypt=True,
+                          transport_secret=b"k" * 16)
+        nodes = [ChurnChatterNode(i) for i in range(8)]
+        simulation = Simulation(
+            network, nodes, random.Random(3),
+            churn=UniformChurn(leave_rate=0.25, join_rate=0.0),
+        )
+        simulation.run(6)
+        alive = set(simulation.nodes)
+        assert len(alive) < 8  # churn actually removed someone
+        for pair in network._pair_keys:
+            assert set(pair) <= alive
