@@ -11,14 +11,15 @@ fault plan mid-run:
    succeeds once the outage lifts, under exponential backoff;
 4. a crash-restart of one honest node and an omission window on another.
 
-The InvariantChecker audits every round; the report at the end shows the
-degradation/promotion counters and where every dropped message went.
+The InvariantChecker audits every round; the report at the end reads the
+degradation/promotion counters and the per-cause drop counts out of the
+telemetry registry (see :mod:`repro.telemetry`) — the same numbers the
+JSONL trace carries event by event.
 
 Run:  python examples/fault_drill.py
 """
 
 from repro.core.eviction import AdaptiveEviction
-from repro.core.node import RapteeNode
 from repro.experiments.scenarios import TopologySpec, build_raptee_simulation
 from repro.faults import (
     AttestationOutageFault,
@@ -31,6 +32,7 @@ from repro.faults import (
     SealedBlobCorruptionFault,
     wire_faults,
 )
+from repro.telemetry import wire_telemetry
 
 SEED = 7
 ROUNDS = 40
@@ -44,6 +46,7 @@ def main() -> None:
         view_ratio=0.08,
     )
     bundle = build_raptee_simulation(spec, SEED, eviction=AdaptiveEviction())
+    telemetry = wire_telemetry(bundle).telemetry  # before wire_faults
     trusted = sorted(bundle.trusted_ids)
     victims = trusted[: len(trusted) // 3]
     honest = sorted(
@@ -69,27 +72,22 @@ def main() -> None:
     print(f"\nRunning {ROUNDS} rounds with faults armed…")
     harness.run(ROUNDS)
 
-    stats = harness.injector.stats
-    recovery = harness.recovery.stats
-    degraded_rounds = sum(
-        node.degradations_total
-        for node in bundle.simulation.nodes.values()
-        if isinstance(node, RapteeNode)
-    )
-    print(f"\nenclave crashes:   {stats.enclave_crashes}")
-    print(f"degradations:      {degraded_rounds}")
-    print(f"sealed restores:   {recovery.restores_from_seal}")
-    print(f"re-provisionings:  {recovery.reprovisions} "
-          f"(after {recovery.failed_attempts} refused attempts)")
-    print(f"drops by cause:    {dict(stats.drops_by_cause)}")
+    registry = telemetry.registry
+    drops_by_cause = {
+        str(cause): int(count)
+        for cause, count in registry.by_label("faults.drops", "cause").items()
+    }
+    print(f"\nenclave crashes:   {int(registry.value('faults.enclave_crashes'))}")
+    print(f"degradations:      {int(registry.value('raptee.degradations'))} "
+          f"(promoted back {int(registry.value('raptee.promotions'))})")
+    print(f"sealed restores:   {int(registry.value('recovery.restores_from_seal'))}")
+    print(f"re-provisionings:  {int(registry.value('recovery.reprovisions'))} "
+          f"(after {int(registry.value('recovery.failed_attempts'))} refused attempts)")
+    print(f"drops by cause:    {drops_by_cause}")
     print(f"invariants:        {checker.rounds_checked} rounds checked, "
           f"{len(checker.violations)} violations")
-    still_degraded = [
-        node.node_id
-        for node in bundle.simulation.nodes.values()
-        if isinstance(node, RapteeNode) and node.degraded
-    ]
-    print(f"still degraded:    {sorted(still_degraded) or 'none'}")
+    # Final value of the per-round gauge = nodes still degraded at the end.
+    print(f"still degraded:    {int(registry.value('raptee.degraded_nodes'))}")
 
 
 if __name__ == "__main__":

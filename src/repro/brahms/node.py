@@ -167,9 +167,11 @@ class BrahmsNode(NodeBase):
 
         # Sampling component: every received ID enters the sampler stream —
         # except the IDs a trusted node chose to evict (already filtered).
+        # The timer covers the min-wise hashing the samplers run per ID.
         self._charge(PeerSamplingFunction.SAMPLE_LIST_COMPUTATION)
-        self.samplers.update(pushed)
-        self.samplers.update(pulled)
+        with self._profiled("sampler.update"):
+            self.samplers.update(pushed)
+            self.samplers.update(pulled)
 
         # View renewal: requires non-blocked round with both flows present
         # (the pull condition is on *received answers*, so an evicting
@@ -177,13 +179,15 @@ class BrahmsNode(NodeBase):
         received_any_pull = any(batch.ids for batch in self._pulled)
         if not blocked and pushed and received_any_pull:
             self._charge(PeerSamplingFunction.DYNAMIC_VIEW_COMPUTATION)
-            self.view = self._renew_view(pushed, pulled)
+            with self._profiled("view.merge"):
+                self.view = self._renew_view(pushed, pulled)
 
         if (
             config.validation_period
             and ctx.round_number % config.validation_period == 0
         ):
-            self.samplers.validate(ctx.network.is_reachable)
+            with self._profiled("sampler.validate"):
+                self.samplers.validate(ctx.network.is_reachable)
 
         self._received_pushes = []
         self._pulled = []

@@ -10,6 +10,8 @@ Three commands cover the common workflows:
   precision/recall/F1;
 * ``faults`` — run a named fault-injection drill (:mod:`repro.faults`)
   and print the recovery/invariant report;
+* ``trace`` — run one scenario with telemetry wired
+  (:mod:`repro.telemetry`) and export the JSONL trace / CSV metrics;
 * ``lint`` — run the :mod:`repro.lint` invariant checks (determinism,
   enclave boundary, crypto hygiene, sim purity).
 
@@ -19,6 +21,7 @@ Examples::
     python -m repro figure fig9 --scale test
     python -m repro attack --f 0.2 --t 0.2 --eviction 1.0
     python -m repro faults --drill enclave-outage --nodes 200 --rounds 50
+    python -m repro trace --nodes 50 --rounds 30 --seed 7 --out trace.jsonl
     python -m repro lint src tests --format json
 """
 
@@ -118,6 +121,32 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--rounds", type=int, default=50)
     faults_parser.add_argument("--seed", type=int, default=1)
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="run one scenario with telemetry and export the trace"
+    )
+    trace_parser.add_argument("--protocol", choices=("brahms", "raptee"),
+                              default="raptee")
+    trace_parser.add_argument("--nodes", type=int, default=50)
+    trace_parser.add_argument("--f", type=float, default=0.10,
+                              help="Byzantine fraction")
+    trace_parser.add_argument("--t", type=float, default=0.10,
+                              help="trusted fraction")
+    trace_parser.add_argument("--rounds", type=int, default=30)
+    trace_parser.add_argument("--seed", type=int, default=1)
+    trace_parser.add_argument("--view-ratio", type=float, default=0.08)
+    trace_parser.add_argument("--eviction", type=parse_eviction,
+                              default=AdaptiveEviction())
+    trace_parser.add_argument("--out", default="trace.jsonl",
+                              help="JSONL trace output path")
+    trace_parser.add_argument("--metrics-out", default=None,
+                              help="also write a CSV metrics snapshot here")
+    trace_parser.add_argument("--no-message-events", action="store_true",
+                              help="omit per-message net.*/fault.drop events")
+    trace_parser.add_argument("--ecall-events", action="store_true",
+                              help="emit one trace event per SGX ECALL")
+    trace_parser.add_argument("--profile", action="store_true",
+                              help="enable wall-clock profiling of hot paths")
+
     lint_parser = subparsers.add_parser(
         "lint", help="run the static invariant checks (see repro.lint)"
     )
@@ -210,6 +239,50 @@ def _command_faults(args) -> int:
     return 0 if report.violations == 0 else 1
 
 
+def _command_trace(args) -> int:
+    from repro.telemetry import (
+        TelemetryConfig,
+        metrics_to_csv,
+        render_profile,
+        render_summary,
+        trace_to_jsonl,
+        wire_telemetry,
+    )
+
+    spec = TopologySpec(
+        n_nodes=args.nodes,
+        byzantine_fraction=args.f,
+        trusted_fraction=args.t if args.protocol == "raptee" else 0.0,
+        view_ratio=args.view_ratio,
+    )
+    if args.protocol == "brahms":
+        bundle = build_brahms_simulation(spec, args.seed)
+    else:
+        bundle = build_raptee_simulation(spec, args.seed, eviction=args.eviction)
+    config = TelemetryConfig(
+        trace_messages=not args.no_message_events,
+        trace_ecalls=args.ecall_events,
+        profiling=args.profile,
+    )
+    harness = wire_telemetry(bundle, config)
+    harness.run(args.rounds)
+
+    telemetry = harness.telemetry
+    with open(args.out, "w", encoding="utf-8") as stream:
+        stream.write(trace_to_jsonl(telemetry.trace.events))
+    print(f"trace:              {args.out} ({len(telemetry.trace)} events)")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as stream:
+            stream.write(metrics_to_csv(telemetry.registry))
+        print(f"metrics:            {args.metrics_out}")
+    print()
+    print(render_summary(telemetry))
+    if args.profile:
+        print()
+        print(render_profile(telemetry.profiler))
+    return 0
+
+
 def _command_lint(args) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -223,6 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure": _command_figure,
         "attack": _command_attack,
         "faults": _command_faults,
+        "trace": _command_trace,
         "lint": _command_lint,
     }
     return handlers[args.command](args)

@@ -128,6 +128,9 @@ class RapteeNode(BrahmsNode):
             return
         self.degraded = True
         self.degradations_total += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("raptee.degradations").inc()
+            self.telemetry.event("node.degrade", node=self.node_id)
         if self._own_key is None:
             self._own_key = self.rng.getrandbits(KEY_BYTES * 8).to_bytes(
                 KEY_BYTES, "big"
@@ -140,9 +143,16 @@ class RapteeNode(BrahmsNode):
         if enclave is None or not enclave.is_provisioned():
             raise ValueError("promotion requires a provisioned enclave")
         self.enclave = enclave
+        if self.telemetry is not None:
+            # Freshly reloaded hosts predate wiring; adopt them here so
+            # their ECALLs keep being counted after recovery.
+            enclave.set_telemetry(self.telemetry, self.node_id)
         if self.degraded:
             self.degraded = False
             self.promotions_total += 1
+            if self.telemetry is not None:
+                self.telemetry.counter("raptee.promotions").inc()
+                self.telemetry.event("node.promote", node=self.node_id)
 
     # -- round lifecycle -------------------------------------------------------
 

@@ -33,6 +33,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.deployment import TrustedInfrastructure
     from repro.sgx.enclave import EnclaveHost
     from repro.sim.engine import Simulation
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["RetryPolicy", "RecoveryState", "EnclaveRecoveryManager", "provision_with_retry"]
 
@@ -117,6 +118,16 @@ class EnclaveRecoveryManager:
         self._sealed: Dict[int, bytes] = {}
         self._states: Dict[int, RecoveryState] = {}
         self.stats = RecoveryStats()
+        self.telemetry: Optional["Telemetry"] = None
+
+    def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        """Mirror recovery counters and transitions into a hub."""
+        self.telemetry = telemetry
+
+    def _record(self, name: str, node_id: int, **fields: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(f"recovery.{name}").inc()
+            self.telemetry.event(f"recovery.{name}", node=node_id, **fields)
 
     # -- sealed storage ------------------------------------------------------
 
@@ -180,12 +191,14 @@ class EnclaveRecoveryManager:
             try:
                 host.restore_group_key(blob)
                 self.stats.restores_from_seal += 1
+                self._record("restores_from_seal", node.node_id)
                 self._promote(node, host)
                 return
             except (SealingError, ProvisioningError):
                 # Corrupted or foreign blob: discard it, fall through to
                 # the full re-attestation path.
                 self.stats.corrupted_blobs += 1
+                self._record("corrupted_blobs", node.node_id)
                 del self._sealed[node.node_id]
 
         # Rung 2: full re-attestation + provisioning, under backoff.
@@ -195,12 +208,17 @@ class EnclaveRecoveryManager:
             self.stats.failed_attempts += 1
             delay = self.policy.delay_rounds(state.attempts, self._rng)
             state.attempts += 1
+            self._record(
+                "failed_attempts", node.node_id, attempt=state.attempts
+            )
             if state.attempts >= self.policy.max_attempts:
                 state.exhausted = True
+                self._record("exhausted", node.node_id)
             else:
                 state.next_attempt_round = round_number + delay
             return
         self.stats.reprovisions += 1
+        self._record("reprovisions", node.node_id)
         self._sealed[node.node_id] = host.seal_group_key()
         self._promote(node, host)
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
@@ -56,21 +57,36 @@ def run_bundle(bundle: SimulationBundle, rounds: int, tail: int = 10) -> RunMetr
 def repeat(
     build_and_run: Callable[[int], RunMetrics],
     seeds: List[int],
+    workers: Optional[int] = None,
 ) -> RepeatedMetrics:
     """Run one experiment under several seeds and aggregate.
 
     Discovery/stability summaries only include runs that actually reached
     the milestone (the paper's runs always converge; scaled-down runs that
-    miss a milestone are excluded rather than polluting the mean with -1).
+    miss a milestone are excluded rather than polluting the mean with -1;
+    the "never reached" sentinel is -1, so a round-0 milestone counts).
+
+    ``workers`` > 1 runs seeds in parallel via a process pool; each run is
+    deterministic under its own seed and results are collected in seed
+    order, so the aggregates are identical whatever the worker count.
+    ``build_and_run`` must then be picklable (a module-level function).
     """
-    runs = [build_and_run(seed) for seed in seeds]
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be a positive integer")
+    if workers is None or workers == 1 or len(seeds) <= 1:
+        runs = [build_and_run(seed) for seed in seeds]
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            # Executor.map preserves input order regardless of completion
+            # order — the property that keeps aggregation deterministic.
+            runs = list(pool.map(build_and_run, seeds))
     return RepeatedMetrics(
         resilience=summarize([run.resilience for run in runs]),
         discovery_round=summarize(
-            [run.discovery_round for run in runs if run.discovery_round > 0]
+            [run.discovery_round for run in runs if run.discovery_round >= 0]
         ),
         stability_round=summarize(
-            [run.stability_round for run in runs if run.stability_round > 0]
+            [run.stability_round for run in runs if run.stability_round >= 0]
         ),
         runs=runs,
     )

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.adversary.byzantine import ByzantineNode
 from repro.adversary.coordinator import AdversaryCoordinator
@@ -43,6 +43,10 @@ from repro.sim.engine import Simulation
 from repro.sim.network import Network
 from repro.sim.node import NodeKind
 from repro.sim.observers import DiscoveryObserver, ViewTraceObserver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.harness import TelemetryObserver
+    from repro.telemetry.hub import Telemetry
 
 __all__ = [
     "TopologySpec",
@@ -124,9 +128,16 @@ class SimulationBundle:
     infrastructure: Optional[TrustedInfrastructure] = None
     trusted_ids: frozenset = frozenset()
     cycle_accountants: Dict[int, CycleAccountant] = field(default_factory=dict)
+    #: Set by :func:`repro.telemetry.harness.wire_telemetry`; when present,
+    #: the per-round telemetry observer rides along on every run.
+    telemetry: Optional["Telemetry"] = None
+    telemetry_observer: Optional["TelemetryObserver"] = None
 
     def run(self, rounds: int, extra_observers: Sequence = ()) -> None:
-        observers = [self.trace, self.discovery, *extra_observers]
+        observers = [self.trace, self.discovery]
+        if self.telemetry_observer is not None:
+            observers.append(self.telemetry_observer)
+        observers.extend(extra_observers)
         self.simulation.run(rounds, observers=observers)
 
 

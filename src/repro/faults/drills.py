@@ -24,11 +24,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from repro.analysis.metrics import resilience_from_trace
 from repro.core.eviction import AdaptiveEviction
-from repro.core.node import RapteeNode
 from repro.experiments.scenarios import SimulationBundle, TopologySpec, build_raptee_simulation
 from repro.faults.harness import FaultHarness, wire_faults
 from repro.faults.invariants import InvariantChecker
@@ -43,6 +42,7 @@ from repro.faults.plan import (
     RoundWindow,
     SealedBlobCorruptionFault,
 )
+from repro.telemetry import Telemetry, wire_telemetry
 
 __all__ = ["DRILLS", "DrillReport", "run_drill"]
 
@@ -166,27 +166,37 @@ def run_drill(
             f"unknown drill {name!r}; available: {', '.join(sorted(DRILLS))}"
         )
     bundle = build_raptee_simulation(_drill_spec(nodes), seed, eviction=AdaptiveEviction())
+    # Telemetry first, so the injector and recovery manager pick up the hub
+    # and every number the report needs lands in the registry.
+    telemetry = wire_telemetry(bundle).telemetry
     plan = DRILLS[name](bundle, rounds)
     checker = InvariantChecker(record_only=True)
     harness = wire_faults(bundle, plan, seed, checker=checker)
     harness.run(rounds)
-    return _report(name, nodes, rounds, seed, harness)
+    return _report(name, nodes, rounds, seed, harness, telemetry)
 
 
 def _report(
-    name: str, nodes: int, rounds: int, seed: int, harness: FaultHarness
+    name: str,
+    nodes: int,
+    rounds: int,
+    seed: int,
+    harness: FaultHarness,
+    telemetry: Telemetry,
 ) -> DrillReport:
+    """Summarize a finished drill from the telemetry registry.
+
+    Every count comes out of the one shared metrics namespace — the private
+    ``InjectionStats``/``RecoveryStats``/node counters stay available for
+    assertions, but reports read the registry.
+    """
     bundle = harness.bundle
-    stats = harness.injector.stats
-    recovery_stats = harness.recovery.stats if harness.recovery else None
-    degradations = promotions = still_degraded = 0
-    for node_id in sorted(bundle.simulation.nodes):
-        node = bundle.simulation.nodes[node_id]
-        if isinstance(node, RapteeNode):
-            degradations += node.degradations_total
-            promotions += node.promotions_total
-            still_degraded += int(node.degraded)
+    registry = telemetry.registry
     checker = harness.checker
+    drops_by_cause = {
+        str(cause): int(count)
+        for cause, count in registry.by_label("faults.drops", "cause").items()
+    }
     return DrillReport(
         name=name,
         nodes=nodes,
@@ -194,16 +204,17 @@ def _report(
         seed=seed,
         plan_description=harness.plan.describe(),
         resilience_percent=100.0 * resilience_from_trace(bundle.trace.records),
-        drops_by_cause=dict(stats.drops_by_cause),
-        crashes=stats.crashes,
-        restarts=stats.restarts,
-        enclave_crashes=stats.enclave_crashes,
-        degradations=degradations,
-        promotions=promotions,
-        restores_from_seal=recovery_stats.restores_from_seal if recovery_stats else 0,
-        reprovisions=recovery_stats.reprovisions if recovery_stats else 0,
-        failed_attempts=recovery_stats.failed_attempts if recovery_stats else 0,
-        still_degraded=still_degraded,
+        drops_by_cause=drops_by_cause,
+        crashes=int(registry.value("faults.crashes")),
+        restarts=int(registry.value("faults.restarts")),
+        enclave_crashes=int(registry.value("faults.enclave_crashes")),
+        degradations=int(registry.value("raptee.degradations")),
+        promotions=int(registry.value("raptee.promotions")),
+        restores_from_seal=int(registry.value("recovery.restores_from_seal")),
+        reprovisions=int(registry.value("recovery.reprovisions")),
+        failed_attempts=int(registry.value("recovery.failed_attempts")),
+        # The per-round gauge's final value is the end-of-run degraded count.
+        still_degraded=int(registry.value("raptee.degraded_nodes")),
         rounds_checked=checker.rounds_checked if checker else 0,
         violations=len(checker.violations) if checker else 0,
     )

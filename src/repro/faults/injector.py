@@ -25,7 +25,7 @@ from __future__ import annotations
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.core.node import RapteeNode
 from repro.core.recovery import EnclaveRecoveryManager
@@ -44,6 +44,9 @@ from repro.faults.plan import (
     SealedBlobCorruptionFault,
 )
 from repro.sim.engine import FaultController, Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["InjectionStats", "FaultInjector"]
 
@@ -73,6 +76,7 @@ class FaultInjector(FaultController):
         self.plan = plan
         self._rng = rng
         self.stats = InjectionStats()
+        self.telemetry: Optional["Telemetry"] = None
         self._simulation: Optional[Simulation] = None
         self._infrastructure = None
         self.recovery: Optional[EnclaveRecoveryManager] = None
@@ -116,6 +120,23 @@ class FaultInjector(FaultController):
         if infrastructure is not None and self._flakiness:
             infrastructure.provisioner.set_fault_hook(self._provisioning_fault)
 
+    def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        """Fire a trace event (and counter) for every applied fault."""
+        self.telemetry = telemetry
+        if self.recovery is not None:
+            self.recovery.set_telemetry(telemetry)
+
+    def _record(
+        self,
+        counter_name: str,
+        event_name: str,
+        node: Optional[int] = None,
+        **fields: object,
+    ) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter(f"faults.{counter_name}").inc()
+            self.telemetry.event(f"fault.{event_name}", node=node, **fields)
+
     # -- round-start faults ----------------------------------------------------
 
     def on_round_start(self, simulation: Simulation) -> None:
@@ -127,6 +148,7 @@ class FaultInjector(FaultController):
             self._infrastructure.attestation.set_available(available)
             if not available:
                 self.stats.outage_rounds += 1
+                self._record("outage_rounds", "outage")
 
         for fault in self._crash_restarts:
             if fault.at_round == round_number:
@@ -136,11 +158,13 @@ class FaultInjector(FaultController):
                 del self._revive_at[node_id]
                 simulation.set_node_alive(node_id, True)
                 self.stats.restarts += 1
+                self._record("restarts", "restart", node=node_id)
 
         for fault in self._enclave_crashes:
             if fault.at_round == round_number:
                 self._crash_enclave(simulation, fault.node_id)
                 self.stats.enclave_crashes += 1
+                self._record("enclave_crashes", "enclave_crash", node=fault.node_id)
 
         for fault in self._blob_corruptions:
             if fault.at_round == round_number:
@@ -150,11 +174,15 @@ class FaultInjector(FaultController):
                     )
                 if self.recovery.corrupt_sealed_blob(fault.node_id):
                     self.stats.blob_corruptions += 1
+                    self._record(
+                        "blob_corruptions", "blob_corruption", node=fault.node_id
+                    )
 
         for fault in self._revocations:
             if fault.at_round == round_number:
                 self._infrastructure.attestation.revoke_device(fault.node_id)
                 self.stats.revocations += 1
+                self._record("revocations", "revocation", node=fault.node_id)
 
         if self.recovery is not None:
             self.recovery.tick(simulation)
@@ -165,6 +193,9 @@ class FaultInjector(FaultController):
         simulation.set_node_alive(fault.node_id, False)
         self._revive_at[fault.node_id] = fault.at_round + fault.down_rounds
         self.stats.crashes += 1
+        self._record(
+            "crashes", "crash", node=fault.node_id, down_rounds=fault.down_rounds
+        )
         if fault.crash_enclave:
             self._crash_enclave(simulation, fault.node_id)
 
@@ -183,6 +214,7 @@ class FaultInjector(FaultController):
             if fault.window.covers(self._round):
                 if self._rng.random() < fault.failure_rate:
                     self.stats.provisioning_refusals += 1
+                    self._record("provisioning_refusals", "provisioning_refusal")
                     return f"flaky provisioning (round {self._round})"
         return None
 
@@ -199,6 +231,11 @@ class FaultInjector(FaultController):
         cause = self._drop_cause(src, dst, round_number)
         if cause is not None:
             self.stats.drops_by_cause[cause] += 1
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.counter("faults.drops", cause=cause).inc()
+                if telemetry.config.trace_messages:
+                    telemetry.event("fault.drop", node=src, dst=dst, cause=cause)
         return cause
 
     def _drop_cause(self, src: int, dst: int, round_number: int) -> Optional[str]:

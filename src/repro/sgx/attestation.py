@@ -9,11 +9,14 @@ the set of trusted enclave measurements, and verifies quotes against both.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.crypto.rsa import RsaPublicKey
 from repro.sgx.errors import AttestationError
 from repro.sgx.measurement import Measurement, Quote
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["AttestationService"]
 
@@ -37,6 +40,11 @@ class AttestationService:
         self._revoked_devices: Set[int] = set()
         self._trusted_measurements: Set[bytes] = set()
         self._available = True
+        self.telemetry: Optional["Telemetry"] = None
+
+    def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        """Count verifications and trace availability/revocation changes."""
+        self.telemetry = telemetry
 
     # -- registry management ------------------------------------------------
 
@@ -49,6 +57,8 @@ class AttestationService:
     def revoke_device(self, device_id: int) -> None:
         """Revoke a device (e.g. a compromised or recalled CPU)."""
         self._revoked_devices.add(device_id)
+        if self.telemetry is not None:
+            self.telemetry.event("attestation.revocation", node=device_id)
 
     def trust_measurement(self, measurement: Measurement) -> None:
         """Whitelist an enclave build as attestation-worthy."""
@@ -65,12 +75,37 @@ class AttestationService:
 
     def set_available(self, available: bool) -> None:
         """Start or end a service outage window."""
+        if available != self._available and self.telemetry is not None:
+            # Only transitions are traced — the fault injector re-asserts
+            # the availability flag every round during an outage window.
+            self.telemetry.event("attestation.availability", available=available)
         self._available = available
 
     # -- verification ---------------------------------------------------------
 
     def verify_quote(self, quote: Quote) -> None:
         """Verify ``quote``; raises :class:`AttestationError` on any failure."""
+        try:
+            self._verify(quote)
+        except AttestationError as error:
+            if self.telemetry is not None:
+                self.telemetry.counter(
+                    "attestation.verifications", outcome="fail"
+                ).inc()
+                self.telemetry.event(
+                    "attestation.verify",
+                    node=quote.device_id,
+                    ok=False,
+                    reason=str(error),
+                )
+            raise
+        if self.telemetry is not None:
+            self.telemetry.counter("attestation.verifications", outcome="ok").inc()
+            self.telemetry.event(
+                "attestation.verify", node=quote.device_id, ok=True
+            )
+
+    def _verify(self, quote: Quote) -> None:
         if not self._available:
             raise AttestationError("attestation service is unavailable (outage)")
         if quote.device_id in self._revoked_devices:

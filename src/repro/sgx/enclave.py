@@ -141,6 +141,19 @@ class EnclaveHost:
         object.__setattr__(self, "_enclave", enclave)
         object.__setattr__(self, "ecall_count", 0)
         object.__setattr__(self, "_crashed", False)
+        object.__setattr__(self, "_telemetry", None)
+        object.__setattr__(self, "_telemetry_node", None)
+
+    def set_telemetry(self, telemetry, node_id: Optional[int] = None) -> None:
+        """Count (and optionally trace) every boundary crossing in a hub.
+
+        The host's ``__setattr__`` guard exists to stop untrusted writes
+        into *enclave* state; the telemetry handle is host-side bookkeeping,
+        so it is stored with ``object.__setattr__`` like the other host
+        fields.
+        """
+        object.__setattr__(self, "_telemetry", telemetry)
+        object.__setattr__(self, "_telemetry_node", node_id)
 
     @property
     def measurement(self) -> Measurement:
@@ -169,12 +182,23 @@ class EnclaveHost:
             )
 
         def _ecall_proxy(*args: Any, **kwargs: Any) -> Any:
+            telemetry = object.__getattribute__(self, "_telemetry")
+            node_id = object.__getattribute__(self, "_telemetry_node")
             if object.__getattribute__(self, "_crashed"):
+                if telemetry is not None:
+                    telemetry.counter("sgx.ecalls_unavailable", method=name).inc()
+                    telemetry.event(
+                        "sgx.ecall_unavailable", node=node_id, method=name
+                    )
                 raise EnclaveUnavailable(
                     f"{type(enclave).__name__}.{name}: enclave instance has "
                     f"crashed; load a fresh one on its device"
                 )
             object.__setattr__(self, "ecall_count", self.ecall_count + 1)
+            if telemetry is not None:
+                telemetry.counter("sgx.ecalls", method=name).inc()
+                if telemetry.config.trace_ecalls:
+                    telemetry.event("sgx.ecall", node=node_id, method=name)
             return attribute(enclave, *args, **kwargs)
 
         return _ecall_proxy

@@ -11,7 +11,7 @@ enclave key — so K_T never exists in untrusted memory.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.crypto.hashing import constant_time_equal
 from repro.crypto.prng import Sha256Prng
@@ -20,6 +20,9 @@ from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import report_data_binding
 from repro.sgx.errors import AttestationError, ProvisioningError
 from repro.sgx.measurement import Quote
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["GroupKeyProvisioner"]
 
@@ -36,6 +39,16 @@ class GroupKeyProvisioner:
         self._fault_hook: Optional[Callable[[], Optional[str]]] = None
         self.provisioned_count = 0
         self.refused_count = 0
+        self.telemetry: Optional["Telemetry"] = None
+
+    def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        """Count provisioning outcomes and trace each attempt."""
+        self.telemetry = telemetry
+
+    def _record(self, outcome: str, **fields: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.counter("provisioning.attempts", outcome=outcome).inc()
+            self.telemetry.event("provisioning.attempt", outcome=outcome, **fields)
 
     def set_fault_hook(self, hook: Optional[Callable[[], Optional[str]]]) -> None:
         """Install (or clear) a fault-injection gate.
@@ -57,13 +70,17 @@ class GroupKeyProvisioner:
             reason = self._fault_hook()
             if reason:
                 self.refused_count += 1
+                self._record("refused", node=quote.device_id, reason=reason)
                 raise ProvisioningError(f"injected fault: {reason}")
         binding = report_data_binding(enclave_public_key)
         if not constant_time_equal(quote.report_data[: len(binding)], binding):
+            self._record("failed", node=quote.device_id, reason="key binding")
             raise ProvisioningError("public key is not bound into the quote")
         try:
             self._attestation.verify_quote(quote)
         except AttestationError as error:
+            self._record("failed", node=quote.device_id, reason="attestation")
             raise ProvisioningError(f"attestation failed: {error}") from error
         self.provisioned_count += 1
+        self._record("ok", node=quote.device_id)
         return enclave_public_key.encrypt(self._group_key, self._rng)

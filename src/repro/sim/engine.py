@@ -18,12 +18,26 @@ iteration order and therefore reproducible under a seed.
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from contextlib import nullcontext
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    ContextManager,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from repro.sim.churn import ChurnModel, NoChurn
 from repro.sim.messages import Message
 from repro.sim.network import Network
 from repro.sim.node import NodeBase, NodeKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["RoundContext", "Observer", "FaultController", "Simulation"]
 
@@ -87,6 +101,9 @@ class Simulation:
                 f"a node_factory is required to build the joining nodes"
             )
         self._fault_controller: Optional[FaultController] = None
+        #: Optional instrumentation hub (see :mod:`repro.telemetry`); the
+        #: engine advances its round/phase clock and emits lifecycle events.
+        self.telemetry: Optional["Telemetry"] = None
         self.round_number = 0
         self._next_node_id = 0
         #: Every node ID that was ever part of the membership (departed ones
@@ -103,6 +120,10 @@ class Simulation:
         self.network.register(node)
         self._next_node_id = max(self._next_node_id, node.node_id + 1)
         self.ever_registered.add(node.node_id)
+        if self.telemetry is not None:
+            # Churn arrivals join after wiring time; hand them the hub so
+            # their degrade/promote events and profiling timers still land.
+            node.telemetry = self.telemetry
         self._invalidate_kind_cache()
 
     def remove_node(self, node_id: int) -> None:
@@ -167,6 +188,21 @@ class Simulation:
         """Install (or clear, with ``None``) the round-start fault hook."""
         self._fault_controller = controller
 
+    # -- telemetry -------------------------------------------------------------
+
+    def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        """Install (or clear, with ``None``) the instrumentation hub.
+
+        Prefer :func:`repro.telemetry.harness.wire_telemetry`, which also
+        threads the hub through the network, nodes, enclaves and services.
+        """
+        self.telemetry = telemetry
+
+    def _phase(self, name: str) -> ContextManager[None]:
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.phase(name)
+
     # -- execution -------------------------------------------------------------
 
     def _apply_churn(self) -> None:
@@ -175,6 +211,8 @@ class Simulation:
         )
         for node_id in event.departures:
             self.remove_node(node_id)
+            if self.telemetry is not None:
+                self.telemetry.event("churn.departure", node=node_id)
         if event.arrivals and self._node_factory is None:
             raise RuntimeError(
                 f"churn model {type(self._churn).__name__} produced "
@@ -184,29 +222,39 @@ class Simulation:
         for _ in range(event.arrivals):
             new_node = self._node_factory(self._next_node_id)
             self.add_node(new_node)
+            if self.telemetry is not None:
+                self.telemetry.event("churn.arrival", node=new_node.node_id)
 
     def run_round(self) -> None:
         """Execute one full round."""
         self.round_number += 1
         self.network.current_round = self.round_number
+        if self.telemetry is not None:
+            self.telemetry.begin_round(self.round_number)
         self._apply_churn()
         if self._fault_controller is not None:
-            self._fault_controller.on_round_start(self)
+            with self._phase("faults"):
+                self._fault_controller.on_round_start(self)
         ctx = RoundContext(self, self.round_number)
 
         alive = self.alive_nodes()
-        for node in alive:
-            node.begin_round(ctx)
+        with self._phase("begin"):
+            for node in alive:
+                node.begin_round(ctx)
 
         order = list(alive)
         self._rng.shuffle(order)
-        for node in order:
-            if node.alive:
-                node.gossip(ctx)
+        with self._phase("gossip"):
+            for node in order:
+                if node.alive:
+                    node.gossip(ctx)
 
-        for node in alive:
-            if node.alive:
-                node.end_round(ctx)
+        with self._phase("end"):
+            for node in alive:
+                if node.alive:
+                    node.end_round(ctx)
+        if self.telemetry is not None:
+            self.telemetry.end_round(len(self.alive_nodes()))
 
     def run(self, rounds: int, observers: Sequence[Observer] = ()) -> None:
         """Run ``rounds`` rounds, invoking observers after each."""

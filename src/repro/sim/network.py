@@ -25,12 +25,15 @@ import pickle
 import random
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.crypto.ctr import AesCtr
 from repro.crypto.hashing import hkdf
 from repro.sim.messages import Message
 from repro.sim.node import NodeBase
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["Network", "NetworkStats", "FaultHook"]
 
@@ -74,7 +77,12 @@ class Network:
         self._nonce_counter = 0
         self._fault_hook: Optional[FaultHook] = None
         self.stats = NetworkStats()
+        self.telemetry: Optional["Telemetry"] = None
         self.current_round = 0
+
+    def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        """Mirror traffic counters (and per-message events) into a hub."""
+        self.telemetry = telemetry
 
     # -- topology --------------------------------------------------------------
 
@@ -141,31 +149,59 @@ class Network:
     def _count_loss(self) -> None:
         self.stats.messages_lost += 1
         self.stats.per_round_losses[self.current_round] += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("network.messages_lost").inc()
+
+    def _emit_message(self, name: str, src: int, dst: int, delivered: bool,
+                      **fields: object) -> None:
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.config.trace_messages:
+            telemetry.event(name, node=src, dst=dst, delivered=delivered, **fields)
 
     def send_push(self, src: int, dst: int) -> bool:
         """Deliver a push from ``src`` to ``dst``; returns delivery success."""
         self.stats.pushes_sent += 1
         self.stats.per_round_pushes[self.current_round] += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.counter("network.pushes_sent").inc()
         if self._fault_dropped(src, dst) or self._lost() or not self.is_reachable(dst):
             self._count_loss()
+            self._emit_message("net.push", src, dst, delivered=False)
             return False
         self._nodes[dst].on_push(src)
         self.stats.pushes_delivered += 1
+        if telemetry is not None:
+            telemetry.counter("network.pushes_delivered").inc()
+        self._emit_message("net.push", src, dst, delivered=True)
         return True
 
     def request(self, src: int, dst: int, message: Message) -> Optional[Message]:
         """Synchronous request-response; ``None`` on loss or dead peer."""
         self.stats.requests_sent += 1
         self.stats.per_round_requests[self.current_round] += 1
+        kind = type(message).__name__
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.counter("network.requests_sent", kind=kind).inc()
         if self._fault_dropped(src, dst) or self._lost() or not self.is_reachable(dst):
             self._count_loss()
+            self._emit_message("net.request", src, dst, delivered=False, message=kind)
             return None
         delivered = self._through_wire(src, dst, message)
         reply = self._nodes[dst].handle_request(delivered)
         if reply is None:
+            self._emit_message("net.request", src, dst, delivered=True, message=kind,
+                               answered=False)
             return None
         if self._fault_dropped(dst, src) or self._lost():
             self._count_loss()
+            self._emit_message("net.request", src, dst, delivered=True, message=kind,
+                               answered=True, reply_delivered=False)
             return None
         self.stats.replies_delivered += 1
+        if telemetry is not None:
+            telemetry.counter("network.replies_delivered", kind=kind).inc()
+        self._emit_message("net.request", src, dst, delivered=True, message=kind,
+                           answered=True, reply_delivered=True)
         return self._through_wire(dst, src, reply)

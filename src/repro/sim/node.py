@@ -17,12 +17,14 @@ when messages arrive.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, List, Optional
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, ContextManager, List, Optional
 
 from repro.sim.messages import Message
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import RoundContext
+    from repro.telemetry.hub import Telemetry
 
 __all__ = ["NodeKind", "NodeBase"]
 
@@ -57,6 +59,17 @@ class NodeBase:
         self.node_id = node_id
         self.kind = kind
         self.alive = True
+        #: Optional instrumentation hub (see :mod:`repro.telemetry`), set by
+        #: ``wire_telemetry`` or by the engine for churn arrivals.
+        self.telemetry: Optional["Telemetry"] = None
+
+    # -- telemetry -----------------------------------------------------------
+
+    def _profiled(self, name: str) -> ContextManager[None]:
+        """Opt-in wall-clock timer for a hot path (no-op without telemetry)."""
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.timer(name)
 
     # -- active phase -------------------------------------------------------
 

@@ -1,0 +1,97 @@
+"""Wiring: attach a telemetry hub to a built simulation bundle.
+
+:func:`wire_telemetry` mirrors :func:`repro.faults.harness.wire_faults`: one
+call against a :class:`~repro.experiments.scenarios.SimulationBundle` builds
+a :class:`~repro.telemetry.hub.Telemetry` hub and threads it through every
+instrumented layer — the engine (round/phase spans, churn events), the
+network (message counters and events), every node (degrade/promote events,
+profiling timers), every enclave host (ECALL counters), and the trusted
+infrastructure's attestation and provisioning services.  It also installs a
+:class:`TelemetryObserver` on the bundle so per-round aggregates (alive
+nodes, per-round message volumes, currently-degraded trusted nodes) land in
+the registry after every completed round.
+
+Telemetry must be wired *before* :func:`~repro.faults.harness.wire_faults`
+when both are used — the fault layer picks the hub up from the simulation so
+injected faults emit trace events too.
+
+This module imports protocol types only for type checking; at runtime the
+telemetry package stays a pure leaf of the dependency graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.telemetry.hub import Telemetry, TelemetryConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.experiments.scenarios import SimulationBundle
+    from repro.sim.engine import Simulation
+
+__all__ = ["TelemetryObserver", "TelemetryHarness", "wire_telemetry"]
+
+
+class TelemetryObserver:
+    """Per-round aggregates, computed after every completed round.
+
+    Satisfies the :class:`repro.sim.engine.Observer` protocol.  Everything
+    it records is derived from simulation state, so it stays inside the
+    deterministic surface.
+    """
+
+    def __init__(self, telemetry: Telemetry):
+        self.telemetry = telemetry
+
+    def on_round_end(self, simulation: "Simulation") -> None:
+        tel = self.telemetry
+        round_number = simulation.round_number
+        alive = simulation.alive_nodes()
+        tel.gauge("sim.alive_nodes").set(len(alive))
+
+        stats = simulation.network.stats
+        tel.histogram("round.pushes").observe(stats.per_round_pushes[round_number])
+        tel.histogram("round.requests").observe(
+            stats.per_round_requests[round_number]
+        )
+        tel.histogram("round.losses").observe(stats.per_round_losses[round_number])
+
+        degraded = sum(1 for node in alive if getattr(node, "degraded", False))
+        tel.gauge("raptee.degraded_nodes").set(degraded)
+
+
+@dataclass
+class TelemetryHarness:
+    """A bundle with telemetry attached, ready to run."""
+
+    bundle: "SimulationBundle"
+    telemetry: Telemetry
+    observer: TelemetryObserver
+
+    def run(self, rounds: int, extra_observers: Sequence = ()) -> None:
+        self.bundle.run(rounds, extra_observers=extra_observers)
+
+
+def wire_telemetry(
+    bundle: "SimulationBundle",
+    config: Optional[TelemetryConfig] = None,
+) -> TelemetryHarness:
+    """Attach a telemetry hub to every instrumented layer of a bundle."""
+    telemetry = Telemetry(config)
+    simulation = bundle.simulation
+    simulation.set_telemetry(telemetry)
+    simulation.network.set_telemetry(telemetry)
+    for node_id in sorted(simulation.nodes):
+        node = simulation.nodes[node_id]
+        node.telemetry = telemetry
+        enclave = getattr(node, "enclave", None)
+        if enclave is not None:
+            enclave.set_telemetry(telemetry, node_id)
+    if bundle.infrastructure is not None:
+        bundle.infrastructure.attestation.set_telemetry(telemetry)
+        bundle.infrastructure.provisioner.set_telemetry(telemetry)
+    observer = TelemetryObserver(telemetry)
+    bundle.telemetry = telemetry
+    bundle.telemetry_observer = observer
+    return TelemetryHarness(bundle=bundle, telemetry=telemetry, observer=observer)

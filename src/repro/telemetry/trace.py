@@ -1,0 +1,119 @@
+"""Structured trace model: events and spans keyed by ``(round, node, phase)``.
+
+A trace is an append-only sequence of :class:`TraceEvent` records collected
+in memory while a simulation runs.  Every event carries the simulated round
+it happened in, the acting node (when one is identifiable) and the engine
+phase (``begin`` / ``gossip`` / ``end``) — the coordinates the paper's
+evaluation reasons in.  Spans are begin/end event pairs sharing the begin
+event's sequence number, which is enough to reconstruct nesting because the
+simulator is single-threaded and round-synchronous.
+
+Determinism contract: events contain only values derived from simulation
+state (rounds, node IDs, causes, counts), never wall-clock readings — two
+runs of the same scenario and seed must serialize to byte-identical JSONL
+(enforced by ``tests/test_telemetry_integration.py``).  Wall-clock numbers
+live in :mod:`repro.telemetry.profiling`, outside the trace.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["TraceEvent", "TraceCollector", "EVENT_KINDS"]
+
+#: The three record kinds a trace line may carry.
+EVENT_KINDS = ("event", "begin", "end")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record.
+
+    ``seq`` is the global emission index (0-based); for ``kind="end"``
+    records, ``fields["span"]`` holds the matching begin event's ``seq``.
+    """
+
+    seq: int
+    kind: str
+    name: str
+    round: int
+    node: Optional[int] = None
+    phase: Optional[str] = None
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "round": self.round,
+            "node": self.node,
+            "phase": self.phase,
+            "fields": self.fields,
+        }
+
+
+class TraceCollector:
+    """Appends events in emission order and hands out span contexts."""
+
+    def __init__(self) -> None:
+        self.events: List[TraceEvent] = []
+        self._seq = 0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def emit(
+        self,
+        name: str,
+        round_number: int,
+        node: Optional[int] = None,
+        phase: Optional[str] = None,
+        kind: str = "event",
+        **fields: object,
+    ) -> TraceEvent:
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"kind must be one of {EVENT_KINDS}, got {kind!r}")
+        event = TraceEvent(
+            seq=self._seq,
+            kind=kind,
+            name=name,
+            round=round_number,
+            node=node,
+            phase=phase,
+            fields=fields,
+        )
+        self._seq += 1
+        self.events.append(event)
+        return event
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        round_number: int,
+        node: Optional[int] = None,
+        phase: Optional[str] = None,
+        **fields: object,
+    ) -> Iterator[TraceEvent]:
+        """Emit a begin/end pair around a code block."""
+        begin = self.emit(
+            name, round_number, node=node, phase=phase, kind="begin", **fields
+        )
+        try:
+            yield begin
+        finally:
+            self.emit(
+                name, round_number, node=node, phase=phase, kind="end",
+                span=begin.seq,
+            )
+
+    # -- reading -------------------------------------------------------------
+
+    def named(self, name: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.name == name]
+
+    def in_round(self, round_number: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.round == round_number]

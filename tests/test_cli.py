@@ -89,3 +89,41 @@ class TestFaultsCommand:
         assert exit_code == 0
         assert "fault drill:        enclave-outage" in out
         assert "0 violation(s)" in out
+
+
+class TestTraceCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.protocol == "raptee"
+        assert args.nodes == 50
+        assert args.rounds == 30
+        assert args.out == "trace.jsonl"
+        assert args.metrics_out is None
+        assert not args.profile
+
+    def test_trace_smoke(self, capsys, tmp_path):
+        from repro.telemetry import validate_trace_jsonl
+
+        out = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.csv"
+        exit_code = main([
+            "trace", "--nodes", "30", "--rounds", "6", "--seed", "2",
+            "--out", str(out), "--metrics-out", str(metrics),
+        ])
+        printed = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rounds executed" in printed
+        assert validate_trace_jsonl(out.read_text(encoding="utf-8")) > 0
+        assert metrics.read_text(encoding="utf-8").startswith(
+            "name,kind,labels,value,count,sum"
+        )
+
+    def test_trace_profile_flag_prints_hot_paths(self, capsys, tmp_path):
+        exit_code = main([
+            "trace", "--nodes", "30", "--rounds", "6", "--seed", "2",
+            "--profile", "--no-message-events",
+            "--out", str(tmp_path / "t.jsonl"),
+        ])
+        printed = capsys.readouterr().out
+        assert exit_code == 0
+        assert "sampler.update" in printed

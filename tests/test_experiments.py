@@ -11,6 +11,13 @@ from repro.experiments.scenarios import (
 )
 from repro.sim.node import NodeKind
 
+_WORKER_SPEC = TopologySpec(n_nodes=30, byzantine_fraction=0.1)
+
+
+def _build_and_run_small(seed):
+    # Module level so ProcessPoolExecutor can pickle it (workers > 1).
+    return run_bundle(build_brahms_simulation(_WORKER_SPEC, seed), rounds=5)
+
 
 class TestTopologySpec:
     def test_population_counts(self):
@@ -139,3 +146,37 @@ class TestRepeat:
         repeated = repeat(build_and_run, seeds=[1, 2, 3])
         assert repeated.resilience.count == 3
         assert len(repeated.runs) == 3
+
+    def test_workers_match_serial(self):
+        seeds = [1, 2, 3, 4]
+        serial = repeat(_build_and_run_small, seeds)
+        pooled = repeat(_build_and_run_small, seeds, workers=2)
+        assert pooled.runs == serial.runs
+        assert pooled.resilience == serial.resilience
+        assert pooled.discovery_round == serial.discovery_round
+        assert pooled.stability_round == serial.stability_round
+
+    def test_workers_one_is_serial_path(self):
+        seeds = [1, 2]
+        assert repeat(_build_and_run_small, seeds, workers=1).runs == \
+            repeat(_build_and_run_small, seeds).runs
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            repeat(_build_and_run_small, [1], workers=0)
+
+    def test_round_zero_milestones_are_counted(self):
+        # The "never reached" sentinel is -1; a milestone hit at round 0
+        # must be aggregated, not filtered out alongside the sentinel.
+        from repro.experiments.runner import RunMetrics
+
+        metrics = {
+            1: RunMetrics(resilience=0.1, discovery_round=0,
+                          stability_round=0, rounds=5),
+            2: RunMetrics(resilience=0.2, discovery_round=-1,
+                          stability_round=3, rounds=5),
+        }
+        repeated = repeat(lambda seed: metrics[seed], seeds=[1, 2])
+        assert repeated.discovery_round.count == 1
+        assert repeated.discovery_round.mean == 0
+        assert repeated.stability_round.count == 2

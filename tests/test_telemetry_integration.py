@@ -1,0 +1,110 @@
+"""Telemetry wired into full simulations: determinism and zero-perturbation.
+
+The contract under test: telemetry observes, never steers.  A run with
+telemetry on must produce the same protocol results, byte for byte, as a
+run with it off; and the trace itself must be byte-identical across
+repeated runs of the same scenario + seed.
+"""
+
+from repro.core.eviction import AdaptiveEviction
+from repro.experiments.runner import run_bundle
+from repro.experiments.scenarios import TopologySpec, build_raptee_simulation
+from repro.faults.drills import run_drill
+from repro.telemetry import (
+    TelemetryConfig,
+    metrics_to_csv,
+    trace_to_jsonl,
+    validate_trace_jsonl,
+    wire_telemetry,
+)
+
+SPEC = TopologySpec(
+    n_nodes=40,
+    byzantine_fraction=0.10,
+    trusted_fraction=0.20,
+    view_ratio=0.10,
+)
+SEED = 7
+ROUNDS = 8
+
+
+def _build(seed=SEED):
+    return build_raptee_simulation(SPEC, seed, eviction=AdaptiveEviction())
+
+
+def _traced_run(config=None):
+    bundle = _build()
+    harness = wire_telemetry(bundle, config)
+    metrics = run_bundle(bundle, ROUNDS)
+    return metrics, harness.telemetry
+
+
+class TestTraceDeterminism:
+    def test_same_seed_twice_is_byte_identical(self):
+        _, first = _traced_run()
+        _, second = _traced_run()
+        assert trace_to_jsonl(first.trace.events) == \
+            trace_to_jsonl(second.trace.events)
+        assert metrics_to_csv(first.registry) == metrics_to_csv(second.registry)
+
+    def test_different_seed_changes_trace(self):
+        _, telemetry = _traced_run()
+        other_bundle = _build(seed=SEED + 1)
+        other = wire_telemetry(other_bundle).telemetry
+        run_bundle(other_bundle, ROUNDS)
+        assert trace_to_jsonl(telemetry.trace.events) != \
+            trace_to_jsonl(other.trace.events)
+
+    def test_exported_trace_validates(self):
+        _, telemetry = _traced_run()
+        text = trace_to_jsonl(telemetry.trace.events)
+        assert validate_trace_jsonl(text) == len(telemetry.trace)
+
+
+class TestZeroPerturbation:
+    def test_telemetry_off_matches_on(self):
+        baseline = run_bundle(_build(), ROUNDS)
+        traced, _ = _traced_run()
+        assert traced == baseline
+
+    def test_profiling_on_matches_off(self):
+        baseline, _ = _traced_run()
+        profiled, telemetry = _traced_run(TelemetryConfig(profiling=True))
+        assert profiled == baseline
+        assert telemetry.profiler.rows()  # timings were actually collected
+
+    def test_message_events_off_matches_on(self):
+        baseline, full = _traced_run()
+        quiet_metrics, quiet = _traced_run(TelemetryConfig(trace_messages=False))
+        assert quiet_metrics == baseline
+        assert len(quiet.trace) < len(full.trace)
+        assert not quiet.trace.named("net.push")
+
+
+class TestRegistryContents:
+    def test_traffic_counters_mirror_network_stats(self):
+        bundle = _build()
+        harness = wire_telemetry(bundle)
+        run_bundle(bundle, ROUNDS)
+        registry = harness.telemetry.registry
+        stats = bundle.simulation.network.stats
+        assert registry.value("network.pushes_sent") == stats.pushes_sent
+        assert registry.value("network.pushes_delivered") == stats.pushes_delivered
+        assert registry.total("network.requests_sent") == stats.requests_sent
+        assert registry.total("network.replies_delivered") == stats.replies_delivered
+        assert registry.value("sim.rounds") == ROUNDS
+        assert registry.total("sgx.ecalls") > 0
+
+    def test_round_histograms_cover_every_round(self):
+        _, telemetry = _traced_run()
+        hist = telemetry.registry.histogram("round.pushes")
+        assert hist.count == ROUNDS
+
+
+class TestDrillDeterminism:
+    def test_drill_reports_are_reproducible(self):
+        first = run_drill("enclave-outage", nodes=40, rounds=12, seed=3)
+        second = run_drill("enclave-outage", nodes=40, rounds=12, seed=3)
+        assert first == second
+        assert first.enclave_crashes > 0
+        assert first.degradations >= first.enclave_crashes
