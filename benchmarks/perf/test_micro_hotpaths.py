@@ -1,0 +1,72 @@
+"""pytest-benchmark micro-benchmarks for the accelerated hot paths.
+
+Each benchmark times one primitive in both modes (fast paths on / off) so
+``pytest benchmarks/perf --benchmark-only`` prints the per-primitive
+trajectory every future PR can compare against.  The equivalence of the
+two modes is proven elsewhere (tests/test_perf_*); here only the clock
+matters.
+
+Run:  PYTHONPATH=src python -m pytest benchmarks/perf --benchmark-only
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+pytest.importorskip("pytest_benchmark")
+
+from repro.brahms.countmin import CountMinSketch
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import AesCtr
+from repro.crypto.minwise import MinWiseHash
+from repro.perf.config import fastpaths
+from repro.perf.kernels import HAVE_NUMPY
+
+KEY = bytes(range(16))
+NONCE = bytes(8)
+BLOCK = bytes(range(16, 32))
+PAYLOAD = bytes(range(256)) * 16  # 4 KiB ≈ one serialized pull reply
+IDS = [random.Random(7).getrandbits(63) for _ in range(512)]
+
+
+@pytest.fixture(params=["fast", "reference"])
+def mode(request):
+    with fastpaths(request.param == "fast"):
+        yield request.param
+
+
+class TestAesHotPath:
+    def test_encrypt_block(self, benchmark, mode):
+        cipher = AES128(KEY)
+        benchmark(cipher.encrypt_block, BLOCK)
+
+    def test_cipher_construction(self, benchmark, mode):
+        # Fast mode hits the schedule cache; reference expands every time.
+        benchmark(AES128, KEY)
+
+    def test_ctr_payload(self, benchmark, mode):
+        stream = AesCtr(KEY, NONCE)
+        benchmark(stream.encrypt, PAYLOAD)
+
+
+class TestSketchHotPath:
+    def test_countmin_update_batch(self, benchmark, mode):
+        if mode == "fast" and not HAVE_NUMPY:
+            pytest.skip("numpy kernels require numpy")
+        sketch = CountMinSketch(256, 4, random.Random(3))
+        benchmark(sketch.update_batch, IDS)
+
+    def test_countmin_estimate_batch(self, benchmark, mode):
+        if mode == "fast" and not HAVE_NUMPY:
+            pytest.skip("numpy kernels require numpy")
+        sketch = CountMinSketch(256, 4, random.Random(3))
+        sketch.update_batch(IDS)
+        benchmark(sketch.estimate_batch, IDS[:128])
+
+    def test_minwise_batch(self, benchmark, mode):
+        if mode == "fast" and not HAVE_NUMPY:
+            pytest.skip("numpy kernels require numpy")
+        hasher = MinWiseHash(a=12345, b=6789)
+        benchmark(hasher.batch, IDS)

@@ -1,13 +1,22 @@
 #!/usr/bin/env python3
 """The paper-scale configuration (N = 10,000, view 200, 200 rounds).
 
-This is the exact Grid'5000 setting of §V-B.  In pure Python a single run
-takes hours; the script exists to document the configuration and to let a
-patient user (or a PyPy/compiled deployment) reproduce the paper's absolute
-scale.  Pass ``--dry-run`` (default) to only print the derived parameters;
-pass ``--run`` to actually execute one configuration.
+This is the exact Grid'5000 setting of §V-B.  With the :mod:`repro.perf`
+fast paths (on by default) the measured cost on a stock CPython box is:
 
-Run:  python examples/full_scale.py [--run] [--rounds R] [--t T] [--f F]
+* N = 500  (``--nodes 500``):   ~0.2 s per round — seconds per run;
+* N = 1,000, encrypted transport (the pinned ``raptee-1k`` benchmark):
+  ~8 s per round, ~7x over the unaccelerated path (see BENCH_perf.json);
+* N = 10,000 (the full paper scale): ~12 min per round, so one 200-round
+  repetition is a day-scale batch job rather than an interactive run.
+
+Pass ``--dry-run`` (default) to only print the derived parameters; pass
+``--run`` to execute one configuration, scaling N down with ``--nodes``
+to pick your waiting time.  ``--reference`` disables the fast paths (the
+differential test suite proves results are byte-identical either way).
+
+Run:  python examples/full_scale.py [--run] [--nodes N] [--rounds R]
+                                    [--t T] [--f F] [--reference]
 """
 
 import argparse
@@ -16,21 +25,33 @@ from repro.core.eviction import AdaptiveEviction
 from repro.experiments.figures import PAPER_SCALE
 from repro.experiments.runner import run_bundle
 from repro.experiments.scenarios import TopologySpec, build_raptee_simulation
+from repro.perf.config import set_fastpaths
 
 
-def main() -> None:
+def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--run", action="store_true", help="actually execute")
+    parser.add_argument("--nodes", type=int, default=PAPER_SCALE.n_nodes,
+                        help="population size (paper: 10,000)")
     parser.add_argument("--rounds", type=int, default=PAPER_SCALE.rounds)
     parser.add_argument("--f", type=float, default=0.10, help="Byzantine fraction")
     parser.add_argument("--t", type=float, default=0.01, help="trusted fraction")
-    args = parser.parse_args()
+    parser.add_argument("--reference", action="store_true",
+                        help="run the unaccelerated reference paths "
+                             "(several times slower, identical results)")
+    args = parser.parse_args(argv)
 
+    if args.reference:
+        set_fastpaths(False)
+
+    # Scaled-down populations keep statistically meaningful views by using
+    # a larger view ratio (DESIGN.md §5); the full scale uses the paper's.
+    view_ratio = PAPER_SCALE.view_ratio if args.nodes >= 5000 else 0.04
     spec = TopologySpec(
-        n_nodes=PAPER_SCALE.n_nodes,
+        n_nodes=args.nodes,
         byzantine_fraction=args.f,
         trusted_fraction=args.t,
-        view_ratio=PAPER_SCALE.view_ratio,
+        view_ratio=view_ratio,
     )
     config = spec.brahms_config()
     print("Paper-scale configuration (§V-B):")
@@ -42,13 +63,16 @@ def main() -> None:
     print(f"  samplers l2      = {config.sample_size}")
     print(f"  rounds           = {args.rounds} (2.5 s each on the testbed)")
     print(f"  repetitions      = {PAPER_SCALE.repetitions} in the paper")
+    print(f"  fast paths       = {'off (reference)' if args.reference else 'on'}")
 
     if not args.run:
-        print("\nDry run only — pass --run to execute (hours in CPython).")
+        print("\nDry run only — pass --run to execute "
+              "(~0.2 s/round at N=500, ~12 min/round at N=10,000).")
         return
 
     print("\nBuilding (attestation + provisioning of all trusted nodes)…")
-    bundle = build_raptee_simulation(spec, PAPER_SCALE.base_seed, eviction=AdaptiveEviction())
+    bundle = build_raptee_simulation(spec, PAPER_SCALE.base_seed,
+                                     eviction=AdaptiveEviction())
     print("Running…")
     metrics = run_bundle(bundle, args.rounds)
     print(f"resilience (Byz IDs in correct views): {metrics.resilience_percent:.1f}%")

@@ -26,9 +26,11 @@ effect.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from repro.crypto.minwise import scramble64
+from repro.perf import kernels as _kernels
+from repro.perf.config import resolve_use_numpy
 
 __all__ = ["CountMinSketch", "StreamUnbiaser"]
 
@@ -40,14 +42,25 @@ class CountMinSketch:
     ID into one counter per row; the estimate is the row-minimum, which
     upper-bounds the true count and overestimates by at most εN with
     probability 1−δ for width = ⌈e/ε⌉, depth = ⌈ln 1/δ⌉.
+
+    ``use_numpy`` selects the counter backend: ``None`` (default) resolves
+    to numpy when it is installed and :mod:`repro.perf` fast paths are on.
+    Both backends compute identical integers — same hashes, same counters,
+    same estimates (``tests/test_perf_kernels.py`` proves it property-wise);
+    the numpy one batches whole-view updates into vector adds.
     """
 
-    def __init__(self, width: int, depth: int, rng: random.Random):
+    def __init__(self, width: int, depth: int, rng: random.Random,
+                 use_numpy: Optional[bool] = None):
         if width <= 0 or depth <= 0:
             raise ValueError("width and depth must be positive")
         self.width = width
         self.depth = depth
-        self._tables: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.use_numpy = resolve_use_numpy(use_numpy, _kernels.HAVE_NUMPY)
+        if self.use_numpy:
+            self._tables = _kernels.countmin_new_tables(depth, width)
+        else:
+            self._tables = [[0] * width for _ in range(depth)]
         # Per-row salts drive independent hash functions (scramble + salt).
         self._salts = [rng.getrandbits(64) for _ in range(depth)]
         self.total = 0
@@ -60,26 +73,49 @@ class CountMinSketch:
         """Record ``count`` occurrences of ``item``."""
         if count <= 0:
             raise ValueError("count must be positive")
-        for row, column in self._cells(item):
-            self._tables[row][column] += count
+        if self.use_numpy:
+            for row, column in self._cells(item):
+                self._tables[row, column] += count
+        else:
+            for row, column in self._cells(item):
+                self._tables[row][column] += count
         self.total += count
 
     def update_batch(self, items: Iterable[int]) -> None:
+        if self.use_numpy:
+            batch = list(items)
+            if batch:
+                _kernels.countmin_update_batch(self._tables, self._salts, batch)
+                self.total += len(batch)
+            return
         for item in items:
             self.update(item)
 
     def estimate(self, item: int) -> int:
         """Upper-bound estimate of how often ``item`` was recorded."""
+        if self.use_numpy:
+            return _kernels.countmin_estimate(self._tables, self._salts, item)
         return min(self._tables[row][column] for row, column in self._cells(item))
+
+    def estimate_batch(self, items: Sequence[int]) -> List[int]:
+        """Estimates for a batch of items, in input order."""
+        if self.use_numpy and items:
+            return _kernels.countmin_estimate_batch(
+                self._tables, self._salts, list(items)
+            )
+        return [self.estimate(item) for item in items]
 
     def decay(self, factor: float = 0.5) -> None:
         """Age the sketch (halve counters): keeps the bias estimate focused
         on the recent stream in a long-running node."""
         if not 0.0 < factor < 1.0:
             raise ValueError("factor must be in (0, 1)")
-        for table in self._tables:
-            for index, value in enumerate(table):
-                table[index] = int(value * factor)
+        if self.use_numpy:
+            _kernels.countmin_decay(self._tables, factor)
+        else:
+            for table in self._tables:
+                for index, value in enumerate(table):
+                    table[index] = int(value * factor)
         self.total = int(self.total * factor)
 
 
@@ -95,8 +131,8 @@ class StreamUnbiaser:
     """
 
     def __init__(self, rng: random.Random, width: int = 256, depth: int = 4,
-                 decay_every: int = 50):
-        self._sketch = CountMinSketch(width, depth, rng)
+                 decay_every: int = 50, use_numpy: Optional[bool] = None):
+        self._sketch = CountMinSketch(width, depth, rng, use_numpy=use_numpy)
         self._rng = rng
         self._decay_every = decay_every
         self._batches_seen = 0
@@ -116,7 +152,11 @@ class StreamUnbiaser:
         """Return a frequency-flattened sub-sample of ``ids``."""
         if not ids:
             return []
-        estimates = {item: max(1, self._sketch.estimate(item)) for item in sorted(set(ids))}
+        distinct = sorted(set(ids))
+        estimates = {
+            item: max(1, estimate)
+            for item, estimate in zip(distinct, self._sketch.estimate_batch(distinct))
+        }
         floor = min(estimates.values())
         kept = [
             item for item in ids

@@ -13,7 +13,9 @@ Three commands cover the common workflows:
 * ``trace`` — run one scenario with telemetry wired
   (:mod:`repro.telemetry`) and export the JSONL trace / CSV metrics;
 * ``lint`` — run the :mod:`repro.lint` invariant checks (determinism,
-  enclave boundary, crypto hygiene, sim purity).
+  enclave boundary, crypto hygiene, sim purity);
+* ``bench`` — run the pinned performance scenarios (:mod:`repro.perf`)
+  and write the ``BENCH_perf.json`` regression report.
 
 Examples::
 
@@ -23,6 +25,7 @@ Examples::
     python -m repro faults --drill enclave-outage --nodes 200 --rounds 50
     python -m repro trace --nodes 50 --rounds 30 --seed 7 --out trace.jsonl
     python -m repro lint src tests --format json
+    python -m repro bench --smoke --out BENCH_perf.json
 """
 
 from __future__ import annotations
@@ -153,6 +156,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "lint_args", nargs=argparse.REMAINDER,
         help="arguments forwarded to python -m repro.lint",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the pinned perf scenarios (see repro.perf.bench)"
+    )
+    bench_parser.add_argument(
+        "--scenario", action="append", default=None, dest="scenarios",
+        help="run only this pinned scenario (repeatable; default: all)",
+    )
+    bench_parser.add_argument(
+        "--smoke", action="store_true",
+        help="seconds-scale CI variant of every scenario",
+    )
+    bench_parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="skip the fast-path-off reference runs (no speedup column)",
+    )
+    bench_parser.add_argument(
+        "--out", default=None, metavar="BENCH_perf.json",
+        help="write the JSON report here (validated against the schema)",
     )
 
     return parser
@@ -289,6 +312,30 @@ def _command_lint(args) -> int:
     return lint_main(args.lint_args)
 
 
+def _command_bench(args) -> int:
+    import json
+
+    from repro.perf.bench import (
+        render_bench_report,
+        run_bench,
+        validate_bench_report,
+    )
+
+    payload = run_bench(
+        names=args.scenarios,
+        smoke=args.smoke,
+        with_baseline=not args.no_baseline,
+    )
+    validate_bench_report(payload)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as stream:
+            json.dump(payload, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        print(f"report:             {args.out}")
+    print(render_bench_report(payload))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -298,6 +345,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "faults": _command_faults,
         "trace": _command_trace,
         "lint": _command_lint,
+        "bench": _command_bench,
     }
     return handlers[args.command](args)
 

@@ -7,11 +7,26 @@ cipher; :mod:`repro.crypto.ctr` layers the CTR stream mode on top.
 The S-box and its inverse are derived programmatically from the GF(2^8)
 multiplicative inverse and the FIPS-197 affine transform rather than being
 transcribed as literal tables, which makes the derivation itself testable.
+
+Two encryption paths coexist:
+
+* the *reference* path — per-operation SubBytes/ShiftRows/MixColumns over
+  the flat byte state, a readable transliteration of FIPS-197;
+* a *T-table* path — the classic software-AES optimisation that merges the
+  three round operations into four 256-entry 32-bit word tables, derived
+  here from the same S-box and GF tables rather than transcribed.
+
+The T-table path (plus a key-schedule cache) is used when
+:mod:`repro.perf` fast paths are enabled, which is the default; the
+differential suite proves both paths byte-identical, and
+``tests/test_crypto_aes.py`` pins the FIPS-197 vectors against each.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
+
+from repro.perf.config import STATE as _PERF_STATE
 
 __all__ = ["AES128", "BLOCK_SIZE"]
 
@@ -95,6 +110,35 @@ _MUL13 = tuple(_gf_mul(x, 13) for x in range(256))
 _MUL14 = tuple(_gf_mul(x, 14) for x in range(256))
 
 
+def _build_t_tables() -> Tuple[Tuple[int, ...], ...]:
+    """Encryption T-tables: SubBytes + ShiftRows + MixColumns fused.
+
+    ``te_i[a]`` is the contribution of S-box output ``S(a)`` to output
+    column word position ``i`` — four byte-rotations of the MixColumns
+    column ``(2·S(a), S(a), S(a), 3·S(a))``.  One table lookup + XOR per
+    input byte replaces three separate per-byte passes.
+    """
+    te0, te1, te2, te3 = [], [], [], []
+    for value in range(256):
+        s = SBOX[value]
+        s2, s3 = _MUL2[s], _MUL3[s]
+        te0.append((s2 << 24) | (s << 16) | (s << 8) | s3)
+        te1.append((s3 << 24) | (s2 << 16) | (s << 8) | s)
+        te2.append((s << 24) | (s3 << 16) | (s2 << 8) | s)
+        te3.append((s << 24) | (s << 16) | (s3 << 8) | s2)
+    return tuple(te0), tuple(te1), tuple(te2), tuple(te3)
+
+
+_TE0, _TE1, _TE2, _TE3 = _build_t_tables()
+
+# Expanded-schedule cache: key expansion costs ~45 S-box/XOR word steps, and
+# the transport layer builds ciphers for the same handful of pair keys over
+# millions of messages.  Capped so adversarially many distinct keys cannot
+# grow it without bound; only consulted when perf fast paths are enabled.
+_SCHEDULE_CACHE: Dict[bytes, Tuple[List[List[int]], List[Tuple[int, int, int, int]]]] = {}
+_SCHEDULE_CACHE_MAX = 4096
+
+
 class AES128:
     """AES with a 128-bit key (10 rounds), FIPS-197 compliant.
 
@@ -108,7 +152,30 @@ class AES128:
     def __init__(self, key: bytes):
         if len(key) != 16:
             raise ValueError(f"AES-128 requires a 16-byte key, got {len(key)}")
-        self._round_keys = self._expand_key(key)
+        if _PERF_STATE.enabled:
+            cached = _SCHEDULE_CACHE.get(key)
+            if cached is None:
+                cached = self._expand_schedules(key)
+                if len(_SCHEDULE_CACHE) < _SCHEDULE_CACHE_MAX:
+                    _SCHEDULE_CACHE[bytes(key)] = cached
+            self._round_keys, self._round_words = cached
+        else:
+            self._round_keys, self._round_words = self._expand_schedules(key)
+
+    @classmethod
+    def _expand_schedules(
+        cls, key: bytes
+    ) -> Tuple[List[List[int]], List[Tuple[int, int, int, int]]]:
+        """Both schedule forms: flat bytes (reference) and packed words
+        (T-table path).  They are the same schedule, repacked."""
+        round_keys = cls._expand_key(key)
+        round_words = [
+            tuple(
+                int.from_bytes(bytes(rk[4 * j : 4 * j + 4]), "big") for j in range(4)
+            )
+            for rk in round_keys
+        ]
+        return round_keys, round_words
 
     @staticmethod
     def _expand_key(key: bytes) -> List[List[int]]:
@@ -191,6 +258,12 @@ class AES128:
         """Encrypt exactly one 16-byte block."""
         if len(block) != BLOCK_SIZE:
             raise ValueError(f"block must be {BLOCK_SIZE} bytes, got {len(block)}")
+        if _PERF_STATE.enabled:
+            return self._encrypt_block_ttable(block)
+        return self._encrypt_block_reference(block)
+
+    def _encrypt_block_reference(self, block: bytes) -> bytes:
+        """The readable FIPS-197 path: one pass per round operation."""
         state = list(block)
         self._add_round_key(state, self._round_keys[0])
         for round_index in range(1, self.ROUNDS):
@@ -202,6 +275,42 @@ class AES128:
         self._shift_rows(state)
         self._add_round_key(state, self._round_keys[self.ROUNDS])
         return bytes(state)
+
+    def _encrypt_block_ttable(self, block: bytes) -> bytes:
+        """Fused-table path: 16 lookups + XORs per round on 32-bit words.
+
+        State words are big-endian columns; each output word pulls the
+        ShiftRows-selected byte from each input column, exactly as in the
+        per-byte path (column c reads rows from columns c, c+1, c+2, c+3).
+        """
+        words = self._round_words
+        te0, te1, te2, te3 = _TE0, _TE1, _TE2, _TE3
+        rk = words[0]
+        s0 = int.from_bytes(block[0:4], "big") ^ rk[0]
+        s1 = int.from_bytes(block[4:8], "big") ^ rk[1]
+        s2 = int.from_bytes(block[8:12], "big") ^ rk[2]
+        s3 = int.from_bytes(block[12:16], "big") ^ rk[3]
+        for rk in words[1 : self.ROUNDS]:
+            t0 = (te0[s0 >> 24] ^ te1[(s1 >> 16) & 0xFF]
+                  ^ te2[(s2 >> 8) & 0xFF] ^ te3[s3 & 0xFF] ^ rk[0])
+            t1 = (te0[s1 >> 24] ^ te1[(s2 >> 16) & 0xFF]
+                  ^ te2[(s3 >> 8) & 0xFF] ^ te3[s0 & 0xFF] ^ rk[1])
+            t2 = (te0[s2 >> 24] ^ te1[(s3 >> 16) & 0xFF]
+                  ^ te2[(s0 >> 8) & 0xFF] ^ te3[s1 & 0xFF] ^ rk[2])
+            t3 = (te0[s3 >> 24] ^ te1[(s0 >> 16) & 0xFF]
+                  ^ te2[(s1 >> 8) & 0xFF] ^ te3[s2 & 0xFF] ^ rk[3])
+            s0, s1, s2, s3 = t0, t1, t2, t3
+        sbox = SBOX
+        rk = words[self.ROUNDS]
+        t0 = ((sbox[s0 >> 24] << 24) | (sbox[(s1 >> 16) & 0xFF] << 16)
+              | (sbox[(s2 >> 8) & 0xFF] << 8) | sbox[s3 & 0xFF]) ^ rk[0]
+        t1 = ((sbox[s1 >> 24] << 24) | (sbox[(s2 >> 16) & 0xFF] << 16)
+              | (sbox[(s3 >> 8) & 0xFF] << 8) | sbox[s0 & 0xFF]) ^ rk[1]
+        t2 = ((sbox[s2 >> 24] << 24) | (sbox[(s3 >> 16) & 0xFF] << 16)
+              | (sbox[(s0 >> 8) & 0xFF] << 8) | sbox[s1 & 0xFF]) ^ rk[2]
+        t3 = ((sbox[s3 >> 24] << 24) | (sbox[(s0 >> 16) & 0xFF] << 16)
+              | (sbox[(s1 >> 8) & 0xFF] << 8) | sbox[s2 & 0xFF]) ^ rk[3]
+        return ((t0 << 96) | (t1 << 64) | (t2 << 32) | t3).to_bytes(16, "big")
 
     def decrypt_block(self, block: bytes) -> bytes:
         """Decrypt exactly one 16-byte block."""

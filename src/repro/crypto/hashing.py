@@ -31,12 +31,14 @@ def concat_hash(*parts: bytes) -> bytes:
 
     Framing (4-byte big-endian length before each part) prevents the classic
     ambiguity where ``H(a || b) == H(a' || b')`` for different splits.
+
+    One join + one C-level update hashes the identical byte stream that
+    per-part updates would, at a fraction of the call overhead — this sits
+    on the auth hot path (every proof hashes framed nonces).
     """
-    hasher = hashlib.sha256()
-    for part in parts:
-        hasher.update(len(part).to_bytes(4, "big"))
-        hasher.update(part)
-    return hasher.digest()
+    return hashlib.sha256(
+        b"".join(len(part).to_bytes(4, "big") + part for part in parts)
+    ).digest()
 
 
 # HMAC pads and hashes the key on every call; the simulator computes

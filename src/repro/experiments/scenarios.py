@@ -84,6 +84,10 @@ class TopologySpec:
     poisoned_fraction: float = 0.0
     view_ratio: float = 0.06
     loss_rate: float = 0.0
+    #: AES-CTR-encrypt every payload under per-pair keys, as the deployed
+    #: system does (§III-B).  Off by default: it changes no protocol-visible
+    #: behaviour, and sweeps that don't measure the crypto path skip it.
+    transport_encryption: bool = False
 
     def __post_init__(self) -> None:
         if self.n_nodes < 10:
@@ -181,7 +185,8 @@ def build_brahms_simulation(
     ablation benches use it to sweep γ or disable blocking.
     """
     config = config_override or spec.brahms_config()
-    network = Network(_mt(seed, "network"), loss_rate=spec.loss_rate)
+    network = Network(_mt(seed, "network"), loss_rate=spec.loss_rate,
+                      encrypt=spec.transport_encryption)
 
     byzantine_ids = list(range(spec.n_byzantine))
     correct_ids = list(range(spec.n_byzantine, spec.n_nodes))
@@ -250,7 +255,8 @@ def build_raptee_simulation(
         eviction_enabled=eviction_enabled,
         sketch_unbias_enabled=sketch_unbias_enabled,
     )
-    network = Network(_mt(seed, "network"), loss_rate=spec.loss_rate)
+    network = Network(_mt(seed, "network"), loss_rate=spec.loss_rate,
+                      encrypt=spec.transport_encryption)
     infrastructure = TrustedInfrastructure(
         Sha256Prng(derive_seed(seed, "tcb")),
         auth_mode=auth_mode,

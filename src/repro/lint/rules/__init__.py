@@ -21,6 +21,7 @@ from repro.lint.rules.determinism import (
     GlobalRandomRule,
     OsEntropyRule,
     SetIterationRule,
+    UnguardedNumpyRule,
     WallClockRule,
 )
 from repro.lint.rules.enclave_boundary import (
@@ -37,6 +38,7 @@ __all__ = [
     "GlobalRandomRule",
     "OsEntropyRule",
     "SetIterationRule",
+    "UnguardedNumpyRule",
     "WallClockRule",
     "EnclaveBoundaryBypassRule",
     "EnclaveInternalImportRule",

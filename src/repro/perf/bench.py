@@ -1,0 +1,323 @@
+# lint: disable-file=det-wall-clock -- the benchmark harness exists to
+# measure wall-clock; its numbers go to BENCH_perf.json, never into the
+# protocol or the deterministic trace/metrics surface.
+"""Pinned benchmark scenarios and the ``BENCH_perf.json`` report.
+
+Every future PR needs a perf trajectory to compare against; this module
+defines it.  Three pinned scenarios (one Brahms baseline, one encrypted
+RAPTEE at N = 300, and the headline encrypted RAPTEE at N = 1,000 for 50
+rounds) are each run twice:
+
+* the full run on the :mod:`repro.perf` fast paths, profiled, giving
+  wall-clock per round, ops per round and per-phase timings;
+* a short *reference* run with fast paths disabled (``baseline_rounds``
+  rounds — the slow path at paper scale would take hours, and per-round
+  cost is flat across rounds, so a few rounds suffice for the ratio).
+
+The recorded ``speedup_per_round`` is the slow/fast per-round ratio; the
+differential suite (``tests/test_perf_differential.py``) is what certifies
+that the two modes compute identical results, so the ratio compares equal
+work.
+
+The report payload is a plain dict; :func:`validate_bench_report` is the
+schema gate CI runs against the generated artifact, and the builders here
+return data — file I/O stays in the CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.core.eviction import AdaptiveEviction, FixedEviction
+from repro.experiments.scenarios import (
+    SimulationBundle,
+    TopologySpec,
+    build_brahms_simulation,
+    build_raptee_simulation,
+)
+from repro.perf.config import fastpaths
+from repro.perf.kernels import HAVE_NUMPY
+
+__all__ = [
+    "BenchScenario",
+    "BENCH_SCENARIOS",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "run_scenario",
+    "run_bench",
+    "validate_bench_report",
+    "render_bench_report",
+]
+
+SCHEMA_NAME = "repro-bench-perf"
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One pinned benchmark configuration."""
+
+    name: str
+    protocol: str  # "brahms" | "raptee"
+    n_nodes: int
+    rounds: int
+    byzantine_fraction: float = 0.10
+    trusted_fraction: float = 0.0
+    view_ratio: float = 0.08
+    transport_encryption: bool = False
+    fixed_eviction_rate: Optional[float] = None  # None → adaptive
+    sketch_unbias: bool = False
+    seed: int = 1
+    #: Rounds of the fast-path-off reference run (per-round cost is flat,
+    #: so a short run yields the ratio without hour-long slow runs).
+    baseline_rounds: int = 3
+
+    def smoke(self) -> "BenchScenario":
+        """A seconds-scale variant for CI: same shape, tiny population."""
+        return replace(
+            self,
+            n_nodes=min(self.n_nodes, 120),
+            rounds=min(self.rounds, 6),
+            # Tiny populations need proportionally bigger views to stay
+            # above the protocol's minimum sizes.
+            view_ratio=max(self.view_ratio, 0.08),
+            baseline_rounds=min(self.baseline_rounds, 2),
+        )
+
+    def build(self) -> SimulationBundle:
+        spec = TopologySpec(
+            n_nodes=self.n_nodes,
+            byzantine_fraction=self.byzantine_fraction,
+            trusted_fraction=self.trusted_fraction if self.protocol == "raptee" else 0.0,
+            view_ratio=self.view_ratio,
+            transport_encryption=self.transport_encryption,
+        )
+        if self.protocol == "brahms":
+            return build_brahms_simulation(spec, self.seed)
+        eviction = (
+            AdaptiveEviction()
+            if self.fixed_eviction_rate is None
+            else FixedEviction(self.fixed_eviction_rate)
+        )
+        return build_raptee_simulation(
+            spec, self.seed, eviction=eviction,
+            sketch_unbias_enabled=self.sketch_unbias,
+        )
+
+    def config_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "n_nodes": self.n_nodes,
+            "rounds": self.rounds,
+            "byzantine_fraction": self.byzantine_fraction,
+            "trusted_fraction": self.trusted_fraction,
+            "view_ratio": self.view_ratio,
+            "transport_encryption": self.transport_encryption,
+            "eviction": (
+                "adaptive" if self.fixed_eviction_rate is None
+                else f"fixed:{self.fixed_eviction_rate}"
+            ),
+            "sketch_unbias": self.sketch_unbias,
+            "seed": self.seed,
+        }
+
+
+#: The pinned suite.  ``raptee-1k`` is the acceptance-criteria headline:
+#: 1,000 nodes, 50 rounds, paper view ratio (0.02 → view size 20), full
+#: transport encryption — the configuration whose ≥ 5× speedup gates PRs.
+BENCH_SCENARIOS: Dict[str, BenchScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        BenchScenario(
+            name="brahms-baseline", protocol="brahms",
+            n_nodes=300, rounds=30, view_ratio=0.08, baseline_rounds=5,
+        ),
+        BenchScenario(
+            name="raptee-fixed-eviction", protocol="raptee",
+            n_nodes=300, rounds=20, trusted_fraction=0.05, view_ratio=0.08,
+            transport_encryption=True, fixed_eviction_rate=0.6,
+            sketch_unbias=True, baseline_rounds=2,
+        ),
+        BenchScenario(
+            name="raptee-1k", protocol="raptee",
+            n_nodes=1000, rounds=50, trusted_fraction=0.01, view_ratio=0.02,
+            transport_encryption=True, baseline_rounds=2,
+        ),
+    )
+}
+
+
+def _timed_run(scenario: BenchScenario, rounds: int, profiled: bool):
+    """Build and run ``rounds`` rounds; returns (bundle, profiler, seconds)."""
+    bundle = scenario.build()
+    profiler = None
+    if profiled:
+        from repro.telemetry import TelemetryConfig, wire_telemetry
+
+        # Tracing off: per-message events are exactly the overhead a
+        # benchmark must not pay; the profiler rides alone.
+        harness = wire_telemetry(
+            bundle, TelemetryConfig(tracing=False, trace_messages=False,
+                                    profiling=True)
+        )
+        profiler = harness.telemetry.profiler
+    start = time.perf_counter()
+    bundle.run(rounds)
+    elapsed = time.perf_counter() - start
+    return bundle, profiler, elapsed
+
+
+def run_scenario(
+    scenario: BenchScenario, with_baseline: bool = True
+) -> Dict[str, object]:
+    """Benchmark one scenario; returns its report entry."""
+    with fastpaths(True):
+        bundle, profiler, fast_seconds = _timed_run(
+            scenario, scenario.rounds, profiled=True
+        )
+    stats = bundle.simulation.network.stats
+    phase_seconds = {
+        name[len("phase."):]: record.total_seconds
+        for name, record in sorted(profiler.records.items())
+        if name.startswith("phase.")
+    }
+    entry: Dict[str, object] = {
+        "name": scenario.name,
+        "config": scenario.config_dict(),
+        "rounds": scenario.rounds,
+        "wall_seconds": fast_seconds,
+        "seconds_per_round": fast_seconds / scenario.rounds,
+        "ops_per_round": {
+            "pushes": stats.pushes_sent / scenario.rounds,
+            "requests": stats.requests_sent / scenario.rounds,
+        },
+        "bytes_encrypted": stats.bytes_encrypted,
+        "phase_seconds": phase_seconds,
+    }
+    if with_baseline:
+        with fastpaths(False):
+            _, _, slow_seconds = _timed_run(
+                scenario, scenario.baseline_rounds, profiled=False
+            )
+        slow_per_round = slow_seconds / scenario.baseline_rounds
+        entry["baseline"] = {
+            "rounds": scenario.baseline_rounds,
+            "wall_seconds": slow_seconds,
+            "seconds_per_round": slow_per_round,
+        }
+        entry["speedup_per_round"] = slow_per_round * scenario.rounds / fast_seconds
+    return entry
+
+
+def run_bench(
+    names: Optional[List[str]] = None,
+    smoke: bool = False,
+    with_baseline: bool = True,
+) -> Dict[str, object]:
+    """Run the pinned suite (or a subset) and build the report payload."""
+    selected = list(BENCH_SCENARIOS) if not names else names
+    unknown = [name for name in selected if name not in BENCH_SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown bench scenario(s): {', '.join(unknown)}")
+    entries = []
+    for name in selected:
+        scenario = BENCH_SCENARIOS[name]
+        if smoke:
+            scenario = scenario.smoke()
+        entries.append(run_scenario(scenario, with_baseline=with_baseline))
+    return {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "numpy": HAVE_NUMPY,
+        "scenarios": entries,
+    }
+
+
+def validate_bench_report(payload: object) -> Dict[str, object]:
+    """Schema gate for ``BENCH_perf.json``; raises ``ValueError`` on drift.
+
+    Returns the payload on success so callers can chain.
+    """
+
+    def fail(message: str) -> None:
+        raise ValueError(f"invalid bench report: {message}")
+
+    if not isinstance(payload, dict):
+        fail("top level must be an object")
+    if payload.get("schema") != SCHEMA_NAME:
+        fail(f"schema must be {SCHEMA_NAME!r}")
+    if payload.get("version") != SCHEMA_VERSION:
+        fail(f"version must be {SCHEMA_VERSION}")
+    for flag in ("smoke", "numpy"):
+        if not isinstance(payload.get(flag), bool):
+            fail(f"{flag!r} must be a boolean")
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail("'scenarios' must be a non-empty list")
+    for entry in scenarios:
+        if not isinstance(entry, dict):
+            fail("each scenario must be an object")
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            fail("scenario name must be a non-empty string")
+        if not isinstance(entry.get("config"), dict):
+            fail(f"{name}: 'config' must be an object")
+        if not (isinstance(entry.get("rounds"), int) and entry["rounds"] > 0):
+            fail(f"{name}: 'rounds' must be a positive integer")
+        for key in ("wall_seconds", "seconds_per_round"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"{name}: {key!r} must be a positive number")
+        ops = entry.get("ops_per_round")
+        if not isinstance(ops, dict) or not all(
+            isinstance(ops.get(k), (int, float)) for k in ("pushes", "requests")
+        ):
+            fail(f"{name}: 'ops_per_round' needs numeric pushes/requests")
+        phases = entry.get("phase_seconds")
+        if not isinstance(phases, dict):
+            fail(f"{name}: 'phase_seconds' must be an object")
+        baseline = entry.get("baseline")
+        if baseline is not None:
+            if not isinstance(baseline, dict):
+                fail(f"{name}: 'baseline' must be an object")
+            for key in ("rounds", "wall_seconds", "seconds_per_round"):
+                value = baseline.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    fail(f"{name}: baseline {key!r} must be a positive number")
+            speedup = entry.get("speedup_per_round")
+            if not isinstance(speedup, (int, float)) or speedup <= 0:
+                fail(f"{name}: 'speedup_per_round' must be a positive number")
+    return payload  # type: ignore[return-value]
+
+
+def render_bench_report(payload: Dict[str, object]) -> str:
+    """Human-readable summary of a (validated) report payload."""
+    lines = [
+        f"bench report ({'smoke' if payload['smoke'] else 'full'} scale, "
+        f"numpy={'yes' if payload['numpy'] else 'no'})",
+    ]
+    for entry in payload["scenarios"]:
+        lines.append(
+            f"  {entry['name']}: {entry['rounds']} rounds in "
+            f"{entry['wall_seconds']:.2f}s "
+            f"({entry['seconds_per_round']:.3f}s/round, "
+            f"{entry['ops_per_round']['requests']:.0f} req/round)"
+        )
+        baseline = entry.get("baseline")
+        if baseline is not None:
+            lines.append(
+                f"    baseline (fast paths off): "
+                f"{baseline['seconds_per_round']:.3f}s/round over "
+                f"{baseline['rounds']} round(s) → "
+                f"{entry['speedup_per_round']:.1f}x speedup"
+            )
+        phases = entry.get("phase_seconds") or {}
+        if phases:
+            phase_bits = ", ".join(
+                f"{name}={seconds:.2f}s" for name, seconds in phases.items()
+            )
+            lines.append(f"    phases: {phase_bits}")
+    return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Optional numpy kernels for the sketch/hash hot paths.
+
+Every kernel here is an *exact* integer-for-integer replacement for a pure
+Python loop elsewhere in the tree — not a floating-point approximation.
+The equivalence arguments, which the Hypothesis suite
+(``tests/test_perf_kernels.py``) checks on random inputs:
+
+* ``scramble64`` is ``(x * M + O) mod 2^64``; numpy ``uint64`` arithmetic
+  wraps modulo 2^64 by definition, so elementwise uint64 multiply-add *is*
+  the scramble, no masking needed.
+* The min-wise map ``(a * (s mod p) + b) mod p`` with p = 2^31 − 1 keeps
+  every operand below 2^31 and every product below 2^62, so it evaluates
+  exactly in ``int64`` — the same bound that lets ``brahms/sampler.py``
+  vectorise.  For any other modulus the caller must use the Python loop.
+* Count-min updates/estimates are integer adds and minima over int64
+  counters; ``decay`` reproduces Python's ``int(value * factor)``
+  truncation-toward-zero because counters are never negative.
+
+numpy is an *optional* dependency: the import is guarded, callers consult
+:data:`HAVE_NUMPY` (via :func:`repro.perf.config.resolve_use_numpy`) and
+fall back to the pure-Python reference when it is absent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.crypto.minwise import (
+    MERSENNE_PRIME_31,
+    _SCRAMBLE_MULTIPLIER,
+    _SCRAMBLE_OFFSET,
+)
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "scramble64_array",
+    "minwise_batch",
+    "countmin_rows",
+    "countmin_new_tables",
+    "countmin_update_batch",
+    "countmin_estimate",
+    "countmin_estimate_batch",
+    "countmin_decay",
+]
+
+HAVE_NUMPY = np is not None
+
+
+def _require_numpy():
+    if np is None:  # pragma: no cover - exercised only on numpy-less installs
+        raise RuntimeError("numpy kernel invoked but numpy is not installed")
+    return np
+
+
+def scramble64_array(values: Sequence[int]):
+    """Vectorised :func:`repro.crypto.minwise.scramble64` (uint64 array)."""
+    _require_numpy()
+    arr = np.asarray(values, dtype=np.uint64)
+    # uint64 arithmetic wraps mod 2^64 — exactly the `& _WORD_MASK` of the
+    # scalar reference.
+    return arr * np.uint64(_SCRAMBLE_MULTIPLIER) + np.uint64(_SCRAMBLE_OFFSET)
+
+
+def minwise_batch(a: int, b: int, p: int, values: Sequence[int]) -> List[int]:
+    """Evaluate ``h(x) = (a * (scramble64(x) mod p) + b) mod p`` elementwise.
+
+    Only valid for p = 2^31 − 1 (the default field): that bound is what
+    keeps the products inside int64.  Callers with a larger modulus (e.g.
+    the 61-bit field) must keep the scalar loop.
+    """
+    if p != MERSENNE_PRIME_31:
+        raise ValueError("numpy min-wise kernel requires p = 2^31 - 1")
+    _require_numpy()
+    reduced = (scramble64_array(values) % np.uint64(p)).astype(np.int64)
+    hashed = (np.int64(a) * reduced + np.int64(b)) % np.int64(p)
+    return [int(h) for h in hashed]
+
+
+def countmin_rows(items: Sequence[int], salts: Sequence[int], width: int):
+    """Column indices per (row, item): shape ``(depth, len(items))`` int64.
+
+    Matches ``scramble64(item ^ salt) % width`` of the scalar `_cells`.
+    """
+    _require_numpy()
+    arr = np.asarray(items, dtype=np.uint64)
+    salts_col = np.asarray(salts, dtype=np.uint64).reshape(-1, 1)
+    scrambled = (arr ^ salts_col) * np.uint64(_SCRAMBLE_MULTIPLIER) + np.uint64(
+        _SCRAMBLE_OFFSET
+    )
+    return (scrambled % np.uint64(width)).astype(np.int64)
+
+
+def countmin_new_tables(depth: int, width: int):
+    """Zeroed counter matrix (int64 — counts are bounded by stream length)."""
+    _require_numpy()
+    return np.zeros((depth, width), dtype=np.int64)
+
+
+def countmin_update_batch(tables, salts: Sequence[int], items: Sequence[int]) -> None:
+    """Add 1 per occurrence of each item, all rows at once (exact adds)."""
+    columns = countmin_rows(items, salts, tables.shape[1])
+    for row in range(tables.shape[0]):
+        # bincount aggregates duplicate columns before the add — the numpy
+        # equivalent of repeated `+= 1`, without add.at's slow path.
+        tables[row] += np.bincount(columns[row], minlength=tables.shape[1])
+
+
+def countmin_estimate(tables, salts: Sequence[int], item: int) -> int:
+    """Row-minimum estimate for a single item."""
+    columns = countmin_rows([item], salts, tables.shape[1])[:, 0]
+    return int(tables[np.arange(tables.shape[0]), columns].min())
+
+
+def countmin_estimate_batch(
+    tables, salts: Sequence[int], items: Sequence[int]
+) -> List[int]:
+    """Row-minimum estimates for a batch of items, in input order."""
+    columns = countmin_rows(items, salts, tables.shape[1])
+    rows = np.arange(tables.shape[0]).reshape(-1, 1)
+    return [int(v) for v in tables[rows, columns].min(axis=0)]
+
+
+def countmin_decay(tables, factor: float) -> None:
+    """In-place ``int(value * factor)`` on every counter.
+
+    Counters are non-negative, so float multiply + ``astype(int64)``
+    (truncation toward zero) reproduces Python's ``int()`` exactly for
+    counts below 2^53, far beyond any stream the simulator produces.
+    """
+    _require_numpy()
+    tables[:] = (tables * factor).astype(np.int64)

@@ -12,11 +12,15 @@ request-response sessions (pull, auth, trusted swap).  It models:
 * optional transport encryption — the paper encrypts *all* pairwise
   communication with symmetric keys against an eavesdropping adversary
   (§III-B).  When enabled, every payload is serialized and AES-CTR-encrypted
-  under a per-pair key; this verifies the crypto path but is off by default
-  in large sweeps for speed (it changes no protocol-visible behaviour).
+  under a per-pair key.  With :mod:`repro.perf` fast paths on (the default),
+  the per-pair block cipher is cached and the CTR involution lets one
+  keystream serve both wire directions, which is what makes encrypted
+  paper-scale runs feasible.
 
-All traffic is counted — total and per round — giving experiments
-message-complexity statistics and fault drills their loss-burst charts.
+All traffic is counted — total and per round.  The per-round tallies are
+kept as plain integers on the hot path and flushed into the
+:class:`NetworkStats` counters when the round advances or ``stats`` is
+read, so per-message bookkeeping costs integer adds, not Counter hashing.
 """
 
 from __future__ import annotations
@@ -27,13 +31,16 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
+from repro.crypto.aes import AES128
 from repro.crypto.ctr import AesCtr
 from repro.crypto.hashing import hkdf
+from repro.perf.config import STATE as _PERF_STATE
 from repro.sim.messages import Message
 from repro.sim.node import NodeBase
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.hub import Telemetry
+    from repro.telemetry.registry import Counter as MetricCounter
 
 __all__ = ["Network", "NetworkStats", "FaultHook"]
 
@@ -74,15 +81,69 @@ class Network:
         self._encrypt = encrypt
         self._transport_secret = transport_secret
         self._pair_keys: Dict[Tuple[int, int], bytes] = {}
+        self._pair_ciphers: Dict[Tuple[int, int], AES128] = {}
         self._nonce_counter = 0
         self._fault_hook: Optional[FaultHook] = None
-        self.stats = NetworkStats()
+        self._stats = NetworkStats()
+        self._current_round = 0
+        # Per-round tallies, flushed lazily (see class docstring).
+        self._pending_pushes = 0
+        self._pending_requests = 0
+        self._pending_losses = 0
         self.telemetry: Optional["Telemetry"] = None
-        self.current_round = 0
+        # Cached telemetry handles; None / False when no hub is wired, so
+        # the un-instrumented hot path pays one attribute test per message.
+        self._trace_messages = False
+        self._ctr_pushes_sent: Optional["MetricCounter"] = None
+        self._ctr_pushes_delivered: Optional["MetricCounter"] = None
+        self._ctr_messages_lost: Optional["MetricCounter"] = None
+        self._ctr_requests_sent: Dict[str, "MetricCounter"] = {}
+        self._ctr_replies_delivered: Dict[str, "MetricCounter"] = {}
 
     def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
         """Mirror traffic counters (and per-message events) into a hub."""
         self.telemetry = telemetry
+        self._ctr_requests_sent = {}
+        self._ctr_replies_delivered = {}
+        if telemetry is None:
+            self._trace_messages = False
+            self._ctr_pushes_sent = None
+            self._ctr_pushes_delivered = None
+            self._ctr_messages_lost = None
+        else:
+            self._trace_messages = telemetry.config.trace_messages
+            self._ctr_pushes_sent = telemetry.counter("network.pushes_sent")
+            self._ctr_pushes_delivered = telemetry.counter("network.pushes_delivered")
+            self._ctr_messages_lost = telemetry.counter("network.messages_lost")
+
+    # -- statistics ------------------------------------------------------------
+
+    @property
+    def stats(self) -> NetworkStats:
+        """Lifetime counters; reading flushes the pending round tallies."""
+        self._flush_round_tallies()
+        return self._stats
+
+    @property
+    def current_round(self) -> int:
+        return self._current_round
+
+    @current_round.setter
+    def current_round(self, round_number: int) -> None:
+        if round_number != self._current_round:
+            self._flush_round_tallies()
+            self._current_round = round_number
+
+    def _flush_round_tallies(self) -> None:
+        if self._pending_pushes:
+            self._stats.per_round_pushes[self._current_round] += self._pending_pushes
+            self._pending_pushes = 0
+        if self._pending_requests:
+            self._stats.per_round_requests[self._current_round] += self._pending_requests
+            self._pending_requests = 0
+        if self._pending_losses:
+            self._stats.per_round_losses[self._current_round] += self._pending_losses
+            self._pending_losses = 0
 
     # -- topology --------------------------------------------------------------
 
@@ -98,6 +159,7 @@ class Network:
         stale = [pair for pair in self._pair_keys if node_id in pair]
         for pair in stale:
             del self._pair_keys[pair]
+            self._pair_ciphers.pop(pair, None)
 
     def node(self, node_id: int) -> Optional[NodeBase]:
         return self._nodes.get(node_id)
@@ -114,7 +176,7 @@ class Network:
 
     def _fault_dropped(self, src: int, dst: int) -> bool:
         return self._fault_hook is not None and bool(
-            self._fault_hook(src, dst, self.current_round)
+            self._fault_hook(src, dst, self._current_round)
         )
 
     # -- encryption ------------------------------------------------------------
@@ -128,16 +190,39 @@ class Network:
             self._pair_keys[pair] = key
         return key
 
+    def _pair_cipher(self, a: int, b: int) -> AES128:
+        """The pair's block cipher, expanded once and re-nonced per message."""
+        pair = (a, b) if a <= b else (b, a)
+        cipher = self._pair_ciphers.get(pair)
+        if cipher is None:
+            cipher = AES128(self._pair_key(a, b))
+            self._pair_ciphers[pair] = cipher
+        return cipher
+
     def _through_wire(self, src: int, dst: int, message: Message) -> Message:
         """Simulate serialization + encryption + decryption of a payload."""
         if not self._encrypt:
             return message
-        key = self._pair_key(src, dst)
         self._nonce_counter += 1
         nonce = self._nonce_counter.to_bytes(8, "big")
         plaintext = pickle.dumps(message)
+        if _PERF_STATE.enabled:
+            stream = AesCtr.from_cipher(self._pair_cipher(src, dst), nonce)
+            keystream = stream.keystream(len(plaintext))
+            ks_int = int.from_bytes(keystream, "big")
+            ciphertext = (int.from_bytes(plaintext, "big") ^ ks_int).to_bytes(
+                len(plaintext), "big"
+            )
+            self._stats.bytes_encrypted += len(ciphertext)
+            # CTR is an involution, so the decrypt half of the round trip
+            # reuses the keystream instead of re-running AES over it.
+            decrypted = (int.from_bytes(ciphertext, "big") ^ ks_int).to_bytes(
+                len(ciphertext), "big"
+            )
+            return pickle.loads(decrypted)
+        key = self._pair_key(src, dst)
         ciphertext = AesCtr(key, nonce).encrypt(plaintext)
-        self.stats.bytes_encrypted += len(ciphertext)
+        self._stats.bytes_encrypted += len(ciphertext)
         decrypted = AesCtr(key, nonce).decrypt(ciphertext)
         return pickle.loads(decrypted)
 
@@ -147,61 +232,84 @@ class Network:
         return self._loss_rate > 0.0 and self._rng.random() < self._loss_rate
 
     def _count_loss(self) -> None:
-        self.stats.messages_lost += 1
-        self.stats.per_round_losses[self.current_round] += 1
-        if self.telemetry is not None:
-            self.telemetry.counter("network.messages_lost").inc()
+        self._stats.messages_lost += 1
+        self._pending_losses += 1
+        if self._ctr_messages_lost is not None:
+            self._ctr_messages_lost.inc()
 
     def _emit_message(self, name: str, src: int, dst: int, delivered: bool,
                       **fields: object) -> None:
+        # Callers guard on self._trace_messages; kept tolerant for direct use.
         telemetry = self.telemetry
         if telemetry is not None and telemetry.config.trace_messages:
             telemetry.event(name, node=src, dst=dst, delivered=delivered, **fields)
 
     def send_push(self, src: int, dst: int) -> bool:
         """Deliver a push from ``src`` to ``dst``; returns delivery success."""
-        self.stats.pushes_sent += 1
-        self.stats.per_round_pushes[self.current_round] += 1
-        telemetry = self.telemetry
-        if telemetry is not None:
-            telemetry.counter("network.pushes_sent").inc()
+        stats = self._stats
+        stats.pushes_sent += 1
+        self._pending_pushes += 1
+        if self._ctr_pushes_sent is not None:
+            self._ctr_pushes_sent.inc()
         if self._fault_dropped(src, dst) or self._lost() or not self.is_reachable(dst):
             self._count_loss()
-            self._emit_message("net.push", src, dst, delivered=False)
+            if self._trace_messages:
+                self._emit_message("net.push", src, dst, delivered=False)
             return False
         self._nodes[dst].on_push(src)
-        self.stats.pushes_delivered += 1
-        if telemetry is not None:
-            telemetry.counter("network.pushes_delivered").inc()
-        self._emit_message("net.push", src, dst, delivered=True)
+        stats.pushes_delivered += 1
+        if self._ctr_pushes_delivered is not None:
+            self._ctr_pushes_delivered.inc()
+        if self._trace_messages:
+            self._emit_message("net.push", src, dst, delivered=True)
         return True
+
+    def _request_counter(
+        self, cache: Dict[str, "MetricCounter"], name: str, kind: str
+    ) -> "MetricCounter":
+        counter = cache.get(kind)
+        if counter is None:
+            counter = self.telemetry.counter(name, kind=kind)
+            cache[kind] = counter
+        return counter
 
     def request(self, src: int, dst: int, message: Message) -> Optional[Message]:
         """Synchronous request-response; ``None`` on loss or dead peer."""
-        self.stats.requests_sent += 1
-        self.stats.per_round_requests[self.current_round] += 1
+        stats = self._stats
+        stats.requests_sent += 1
+        self._pending_requests += 1
         kind = type(message).__name__
-        telemetry = self.telemetry
-        if telemetry is not None:
-            telemetry.counter("network.requests_sent", kind=kind).inc()
+        instrumented = self.telemetry is not None
+        if instrumented:
+            self._request_counter(
+                self._ctr_requests_sent, "network.requests_sent", kind
+            ).inc()
         if self._fault_dropped(src, dst) or self._lost() or not self.is_reachable(dst):
             self._count_loss()
-            self._emit_message("net.request", src, dst, delivered=False, message=kind)
+            if self._trace_messages:
+                self._emit_message("net.request", src, dst, delivered=False,
+                                   message=kind)
             return None
         delivered = self._through_wire(src, dst, message)
         reply = self._nodes[dst].handle_request(delivered)
         if reply is None:
-            self._emit_message("net.request", src, dst, delivered=True, message=kind,
-                               answered=False)
+            if self._trace_messages:
+                self._emit_message("net.request", src, dst, delivered=True,
+                                   message=kind, answered=False)
             return None
         if self._fault_dropped(dst, src) or self._lost():
             self._count_loss()
-            self._emit_message("net.request", src, dst, delivered=True, message=kind,
-                               answered=True, reply_delivered=False)
+            if self._trace_messages:
+                self._emit_message("net.request", src, dst, delivered=True,
+                                   message=kind, answered=True,
+                                   reply_delivered=False)
             return None
-        self.stats.replies_delivered += 1
-        if telemetry is not None:
-            telemetry.counter("network.replies_delivered", kind=kind).inc()
-        self._emit_message("net.request", src, dst, delivered=True, message=kind,
-                           answered=True, reply_delivered=True)
+        stats.replies_delivered += 1
+        if instrumented:
+            self._request_counter(
+                self._ctr_replies_delivered, "network.replies_delivered", kind
+            ).inc()
+        if self._trace_messages:
+            self._emit_message("net.request", src, dst, delivered=True,
+                               message=kind, answered=True, reply_delivered=True)
         return self._through_wire(dst, src, reply)

@@ -1,0 +1,130 @@
+"""The benchmark-regression harness: report shape, schema gate, CLI.
+
+The full pinned suite runs minutes; these tests drive the same machinery
+on second-scale scenarios, then check the schema validator both ways
+(accepts what ``run_bench`` emits, rejects drifted payloads) — the gate CI
+applies to the generated ``BENCH_perf.json`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BENCH_SCENARIOS,
+    BenchScenario,
+    render_bench_report,
+    run_bench,
+    run_scenario,
+    validate_bench_report,
+)
+
+TINY = BenchScenario(
+    name="tiny-raptee", protocol="raptee", n_nodes=20, rounds=2,
+    trusted_fraction=0.10, view_ratio=0.15, transport_encryption=True,
+    baseline_rounds=1,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_entry():
+    return run_scenario(TINY, with_baseline=True)
+
+
+class TestRunScenario:
+    def test_entry_fields(self, tiny_entry):
+        assert tiny_entry["name"] == "tiny-raptee"
+        assert tiny_entry["rounds"] == 2
+        assert tiny_entry["wall_seconds"] > 0
+        assert tiny_entry["ops_per_round"]["requests"] > 0
+        assert tiny_entry["bytes_encrypted"] > 0
+        assert tiny_entry["speedup_per_round"] > 0
+        assert tiny_entry["baseline"]["rounds"] == 1
+
+    def test_phase_timings_present(self, tiny_entry):
+        # The engine's three phases must show up from the profiler.
+        assert {"begin", "gossip", "end"} <= set(tiny_entry["phase_seconds"])
+
+    def test_no_baseline_mode(self):
+        entry = run_scenario(TINY, with_baseline=False)
+        assert "baseline" not in entry
+        assert "speedup_per_round" not in entry
+
+
+class TestReportPayload:
+    def test_payload_validates_and_is_json(self, tiny_entry, monkeypatch):
+        monkeypatch.setitem(BENCH_SCENARIOS, "tiny-raptee", TINY)
+        payload = run_bench(names=["tiny-raptee"], smoke=True)
+        validate_bench_report(payload)
+        # Must survive a JSON round trip unchanged (the artifact format).
+        assert validate_bench_report(json.loads(json.dumps(payload))) is not None
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="no-such-scenario"):
+            run_bench(names=["no-such-scenario"])
+
+    def test_render_mentions_speedup(self, tiny_entry):
+        payload = {
+            "schema": "repro-bench-perf", "version": 1,
+            "smoke": True, "numpy": True, "scenarios": [tiny_entry],
+        }
+        text = render_bench_report(payload)
+        assert "tiny-raptee" in text
+        assert "speedup" in text
+        assert "phases" in text
+
+
+class TestSchemaGate:
+    def _valid(self, tiny_entry):
+        return {
+            "schema": "repro-bench-perf", "version": 1,
+            "smoke": False, "numpy": True, "scenarios": [dict(tiny_entry)],
+        }
+
+    def test_accepts_valid(self, tiny_entry):
+        validate_bench_report(self._valid(tiny_entry))
+
+    @pytest.mark.parametrize("mutate,match", [
+        (lambda p: p.update(schema="other"), "schema"),
+        (lambda p: p.update(version=99), "version"),
+        (lambda p: p.update(smoke="yes"), "smoke"),
+        (lambda p: p.update(scenarios=[]), "scenarios"),
+        (lambda p: p["scenarios"][0].pop("wall_seconds"), "wall_seconds"),
+        (lambda p: p["scenarios"][0].update(rounds=0), "rounds"),
+        (lambda p: p["scenarios"][0].update(ops_per_round={}), "ops_per_round"),
+        (lambda p: p["scenarios"][0].update(speedup_per_round=-1),
+         "speedup_per_round"),
+    ])
+    def test_rejects_drift(self, tiny_entry, mutate, match):
+        payload = json.loads(json.dumps(self._valid(tiny_entry)))
+        mutate(payload)
+        with pytest.raises(ValueError, match=match):
+            validate_bench_report(payload)
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_bench_report([1, 2, 3])
+
+
+class TestPinnedSuite:
+    def test_pinned_names(self):
+        assert {"brahms-baseline", "raptee-fixed-eviction", "raptee-1k"} <= set(
+            BENCH_SCENARIOS
+        )
+
+    def test_headline_scenario_shape(self):
+        headline = BENCH_SCENARIOS["raptee-1k"]
+        assert headline.n_nodes == 1000
+        assert headline.rounds == 50
+        assert headline.transport_encryption
+        assert headline.view_ratio == 0.02  # the paper's N=10k ratio
+
+    def test_smoke_variants_are_small(self):
+        for scenario in BENCH_SCENARIOS.values():
+            smoke = scenario.smoke()
+            assert smoke.n_nodes <= 120
+            assert smoke.rounds <= 6
+            # Smoke variants must still build (view sizes stay legal).
+            smoke.build()

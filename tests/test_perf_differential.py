@@ -1,0 +1,163 @@
+"""Differential equivalence: fast paths on vs off are byte-identical.
+
+This is the contract that lets :mod:`repro.perf` default to *on*: for the
+same seed, a run with every fast path enabled (T-table AES, cached key
+schedules, shared CTR keystreams, numpy sketch kernels, batched network
+tallies) must produce exactly what the unaccelerated reference produces —
+the same exported trace JSONL, the same metrics CSV, the same final views,
+the same per-round traffic series.
+
+Three pinned scenarios cover the three configuration families: the Brahms
+baseline, RAPTEE with fixed eviction + encrypted transport + count-min
+unbiasing, and RAPTEE under an active fault plan.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import per_round_series
+from repro.core.eviction import AdaptiveEviction, FixedEviction
+from repro.experiments.scenarios import (
+    TopologySpec,
+    build_brahms_simulation,
+    build_raptee_simulation,
+)
+from repro.faults.harness import wire_faults
+from repro.faults.plan import CrashRestartFault, FaultPlan, LossBurstFault, RoundWindow
+from repro.perf.config import fastpaths, fastpaths_enabled
+from repro.telemetry import (
+    TelemetryConfig,
+    metrics_to_csv,
+    trace_to_jsonl,
+    wire_telemetry,
+)
+
+ROUNDS = 6
+
+
+def _observables(bundle, harness_runner, rounds):
+    """Run and collect every deterministic-surface artifact of a bundle."""
+    config = TelemetryConfig(tracing=True, trace_messages=True, trace_ecalls=True)
+    telemetry_harness = wire_telemetry(bundle, config)
+    harness_runner(rounds)
+    telemetry = telemetry_harness.telemetry
+    simulation = bundle.simulation
+    stats = simulation.network.stats
+    return {
+        "trace_jsonl": trace_to_jsonl(telemetry.trace.events),
+        "metrics_csv": metrics_to_csv(telemetry.registry),
+        "final_views": {
+            node_id: tuple(node.view_ids())
+            for node_id, node in sorted(simulation.nodes.items())
+        },
+        "view_trace": bundle.trace.records,
+        "pushes_series": per_round_series(stats.per_round_pushes, rounds),
+        "requests_series": per_round_series(stats.per_round_requests, rounds),
+        "losses_series": per_round_series(stats.per_round_losses, rounds),
+        "totals": (
+            stats.pushes_sent,
+            stats.pushes_delivered,
+            stats.requests_sent,
+            stats.replies_delivered,
+            stats.messages_lost,
+            stats.bytes_encrypted,
+        ),
+    }
+
+
+def _run_brahms(enabled: bool):
+    with fastpaths(enabled):
+        spec = TopologySpec(
+            n_nodes=60, byzantine_fraction=0.10, view_ratio=0.08, loss_rate=0.05
+        )
+        bundle = build_brahms_simulation(spec, seed=11)
+        return _observables(bundle, bundle.run, ROUNDS)
+
+
+def _run_raptee_fixed(enabled: bool):
+    with fastpaths(enabled):
+        spec = TopologySpec(
+            n_nodes=40, byzantine_fraction=0.10, trusted_fraction=0.10,
+            view_ratio=0.10, transport_encryption=True,
+        )
+        bundle = build_raptee_simulation(
+            spec, seed=23, eviction=FixedEviction(0.6),
+            sketch_unbias_enabled=True,
+        )
+        return _observables(bundle, bundle.run, ROUNDS)
+
+
+def _run_raptee_faults(enabled: bool):
+    with fastpaths(enabled):
+        spec = TopologySpec(
+            n_nodes=40, byzantine_fraction=0.10, trusted_fraction=0.10,
+            view_ratio=0.10, transport_encryption=True,
+        )
+        bundle = build_raptee_simulation(spec, seed=31, eviction=AdaptiveEviction())
+        plan = FaultPlan([
+            LossBurstFault(window=RoundWindow(2, 3), loss_rate=0.30),
+            # Node 5 is trusted (IDs 4-7 here): the crash kills its enclave,
+            # pulling the recovery manager into the differential surface.
+            CrashRestartFault(node_id=5, at_round=2, down_rounds=2),
+        ])
+        # Telemetry must be wired before faults so injector events land in
+        # the same hub; wire_faults picks it up from the bundle.
+        def runner(rounds):
+            fault_harness = wire_faults(bundle, plan, seed=31)
+            fault_harness.run(rounds)
+
+        return _observables(bundle, runner, ROUNDS)
+
+
+_SCENARIOS = {
+    "brahms-baseline": _run_brahms,
+    "raptee-fixed-eviction": _run_raptee_fixed,
+    "raptee-faults": _run_raptee_faults,
+}
+
+
+class TestFastPathDefault:
+    def test_fast_paths_are_on_by_default(self):
+        assert fastpaths_enabled()
+
+    def test_context_restores_state(self):
+        before = fastpaths_enabled()
+        with fastpaths(False):
+            assert not fastpaths_enabled()
+            with fastpaths(True):
+                assert fastpaths_enabled()
+            assert not fastpaths_enabled()
+        assert fastpaths_enabled() == before
+
+
+@pytest.mark.parametrize("name", sorted(_SCENARIOS))
+def test_fastpath_on_off_byte_identical(name):
+    run = _SCENARIOS[name]
+    fast = run(True)
+    slow = run(False)
+    # Byte-identical exported artifacts.
+    assert fast["trace_jsonl"] == slow["trace_jsonl"]
+    assert fast["metrics_csv"] == slow["metrics_csv"]
+    # Identical protocol outcomes and per-round traffic series.
+    assert fast["final_views"] == slow["final_views"]
+    assert fast["view_trace"] == slow["view_trace"]
+    assert fast["pushes_series"] == slow["pushes_series"]
+    assert fast["requests_series"] == slow["requests_series"]
+    assert fast["losses_series"] == slow["losses_series"]
+    assert fast["totals"] == slow["totals"]
+
+
+@pytest.mark.parametrize("name", sorted(_SCENARIOS))
+def test_fastpath_runs_are_self_deterministic(name):
+    """Same seed, same mode → identical artifacts (no hidden global state)."""
+    run = _SCENARIOS[name]
+    first = run(True)
+    second = run(True)
+    assert first == second
+
+
+def test_encrypted_scenario_actually_encrypts():
+    """Guard against the differential passing vacuously."""
+    fast = _run_raptee_fixed(True)
+    assert fast["totals"][-1] > 0  # bytes_encrypted

@@ -1,0 +1,202 @@
+"""Property tests: the numpy kernels equal the pure-Python references.
+
+Hypothesis drives random inputs through both implementations of each
+accelerated primitive — count-min updates/estimates/decay, the min-wise
+batch map, the cached/T-table AES-CTR — and requires integer-for-integer
+(or byte-for-byte) equality, not approximate agreement.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.brahms.countmin import CountMinSketch
+from repro.crypto.aes import AES128
+from repro.crypto.ctr import AesCtr
+from repro.crypto.minwise import (
+    MERSENNE_PRIME_31,
+    MERSENNE_PRIME_61,
+    MinWiseHash,
+    scramble64,
+)
+from repro.perf import kernels
+from repro.perf.config import fastpaths, resolve_use_numpy
+
+pytestmark = pytest.mark.skipif(
+    not kernels.HAVE_NUMPY, reason="numpy kernels require numpy"
+)
+
+# Deterministic-surface tests; wall-clock deadlines only add flake.
+COMMON = settings(deadline=None, max_examples=50)
+
+ids_strategy = st.lists(
+    st.integers(min_value=0, max_value=(1 << 63) - 1), min_size=0, max_size=120
+)
+
+
+class TestScramble:
+    @COMMON
+    @given(values=ids_strategy)
+    def test_scramble64_array_matches_scalar(self, values):
+        batched = kernels.scramble64_array(values)
+        assert [int(v) for v in batched] == [scramble64(v) for v in values]
+
+
+class TestMinWise:
+    @COMMON
+    @given(
+        values=ids_strategy,
+        a=st.integers(min_value=1, max_value=MERSENNE_PRIME_31 - 1),
+        b=st.integers(min_value=0, max_value=MERSENNE_PRIME_31 - 1),
+    )
+    def test_batch_kernel_matches_loop(self, values, a, b):
+        hasher = MinWiseHash(a=a, b=b)
+        assert hasher.batch(values, use_numpy=True) == [hasher(v) for v in values]
+
+    def test_batch_refuses_wide_field(self):
+        with pytest.raises(ValueError):
+            kernels.minwise_batch(3, 5, MERSENNE_PRIME_61, [1, 2, 3])
+
+    def test_hash_batch_falls_back_on_wide_field(self):
+        hasher = MinWiseHash(a=3, b=5, p=MERSENNE_PRIME_61)
+        values = [0, 1, 2, 17, 1 << 60]
+        assert hasher.batch(values) == [hasher(v) for v in values]
+
+    def test_batch_respects_fastpath_flag(self):
+        hasher = MinWiseHash(a=7, b=9)
+        values = list(range(50))
+        with fastpaths(False):
+            off = hasher.batch(values)
+        with fastpaths(True):
+            on = hasher.batch(values)
+        assert off == on == [hasher(v) for v in values]
+
+
+def _mirror_sketches(width, depth, seed):
+    """Two sketches with identical salts, one per backend."""
+    pure = CountMinSketch(width, depth, random.Random(seed), use_numpy=False)
+    vec = CountMinSketch(width, depth, random.Random(seed), use_numpy=True)
+    assert pure._salts == vec._salts
+    return pure, vec
+
+
+class TestCountMin:
+    @COMMON
+    @given(
+        items=ids_strategy,
+        width=st.integers(min_value=1, max_value=64),
+        depth=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_update_batch_and_estimates_match(self, items, width, depth, seed):
+        pure, vec = _mirror_sketches(width, depth, seed)
+        pure.update_batch(items)
+        vec.update_batch(items)
+        assert pure.total == vec.total
+        probes = items[:20] + [0, 1, 999_999_999]
+        for item in probes:
+            assert pure.estimate(item) == vec.estimate(item)
+        assert pure.estimate_batch(probes) == vec.estimate_batch(probes)
+
+    @COMMON
+    @given(
+        items=ids_strategy,
+        counts=st.lists(st.integers(min_value=1, max_value=1000),
+                        min_size=0, max_size=20),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_weighted_updates_match(self, items, counts, seed):
+        pure, vec = _mirror_sketches(32, 4, seed)
+        for item, count in zip(items, counts):
+            pure.update(item, count)
+            vec.update(item, count)
+        assert pure.total == vec.total
+        for item in items:
+            assert pure.estimate(item) == vec.estimate(item)
+
+    @COMMON
+    @given(
+        items=ids_strategy,
+        factor=st.floats(min_value=0.01, max_value=0.99,
+                         allow_nan=False, allow_infinity=False),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_decay_truncation_matches(self, items, factor, seed):
+        pure, vec = _mirror_sketches(16, 3, seed)
+        pure.update_batch(items)
+        vec.update_batch(items)
+        pure.decay(factor)
+        vec.decay(factor)
+        assert pure.total == vec.total
+        for item in items[:20]:
+            assert pure.estimate(item) == vec.estimate(item)
+
+    def test_resolution_follows_fastpath_flag(self):
+        with fastpaths(True):
+            assert CountMinSketch(8, 2, random.Random(0)).use_numpy
+        with fastpaths(False):
+            assert not CountMinSketch(8, 2, random.Random(0)).use_numpy
+
+    def test_explicit_true_without_numpy_raises(self):
+        with pytest.raises(RuntimeError):
+            resolve_use_numpy(True, have_numpy=False)
+
+
+class TestAesCtrFastPath:
+    @COMMON
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        nonce=st.binary(min_size=8, max_size=8),
+        plaintext=st.binary(min_size=0, max_size=200),
+        counter=st.integers(min_value=0, max_value=2**32),
+    )
+    def test_fast_and_reference_ciphertexts_equal(self, key, nonce, plaintext,
+                                                  counter):
+        with fastpaths(True):
+            fast = AesCtr(key, nonce).encrypt(plaintext, counter)
+        with fastpaths(False):
+            slow = AesCtr(key, nonce).encrypt(plaintext, counter)
+        assert fast == slow
+
+    @COMMON
+    @given(
+        key=st.binary(min_size=16, max_size=16),
+        nonce=st.binary(min_size=8, max_size=8),
+        plaintext=st.binary(min_size=0, max_size=200),
+    )
+    def test_cached_schedule_roundtrips(self, key, nonce, plaintext):
+        with fastpaths(True):
+            stream = AesCtr(key, nonce)
+            assert stream.decrypt(stream.encrypt(plaintext)) == plaintext
+
+    @COMMON
+    @given(key=st.binary(min_size=16, max_size=16),
+           block=st.binary(min_size=16, max_size=16))
+    def test_ttable_block_matches_reference_block(self, key, block):
+        cipher = AES128(key)
+        fast = cipher._encrypt_block_ttable(block)
+        assert fast == cipher._encrypt_block_reference(block)
+        assert cipher.decrypt_block(fast) == block
+
+    @COMMON
+    @given(key=st.binary(min_size=16, max_size=16),
+           nonce=st.binary(min_size=8, max_size=8),
+           length=st.integers(min_value=0, max_value=100))
+    def test_from_cipher_shares_keystream(self, key, nonce, length):
+        with fastpaths(True):
+            direct = AesCtr(key, nonce)
+            shared = AesCtr.from_cipher(AES128(key), nonce)
+            assert direct.keystream(length) == shared.keystream(length)
+
+    def test_cached_and_uncached_schedules_equal(self):
+        key = bytes(range(16))
+        with fastpaths(True):
+            cached = AES128(key)
+        with fastpaths(False):
+            uncached = AES128(key)
+        assert cached._round_keys == uncached._round_keys
+        assert cached._round_words == uncached._round_words
