@@ -11,7 +11,16 @@ __all__ = ["Summary", "summarize"]
 
 @dataclass(frozen=True)
 class Summary:
-    """Mean / std / 95 % normal-approximation CI over repetitions."""
+    """Mean / std / 95 % normal-approximation CI over repetitions.
+
+    ``std`` is the *sample* standard deviation (n − 1 denominator): the
+    repetitions are a sample from the seed distribution, and the 1.96
+    normal-CI formula in :attr:`ci95_half_width` assumes an unbiased
+    variance estimate.  With the population (n) denominator the CI is
+    understated by a factor of sqrt((n−1)/n) — material at the small seed
+    counts the paper's tables use.  A single sample has no spread estimate,
+    so n = 1 reports std 0.0 (and a zero-width CI).
+    """
 
     count: int
     mean: float
@@ -36,7 +45,10 @@ def summarize(values: Sequence[float]) -> Optional[Summary]:
         return None
     count = len(cleaned)
     mean = sum(cleaned) / count
-    variance = sum((value - mean) ** 2 for value in cleaned) / count
+    if count < 2:
+        variance = 0.0
+    else:
+        variance = sum((value - mean) ** 2 for value in cleaned) / (count - 1)
     return Summary(
         count=count,
         mean=mean,

@@ -3,7 +3,10 @@
 Three commands cover the common workflows:
 
 * ``run`` — execute one Brahms or RAPTEE simulation and print the paper's
-  three metrics;
+  three metrics; ``--checkpoint-every N`` saves a resumable snapshot every
+  N rounds and ``--resume PATH`` continues one (:mod:`repro.snapshot`);
+* ``snapshot`` — inspect or resume snapshots
+  (forwards to ``python -m repro.snapshot``);
 * ``figure`` — regenerate one paper table/figure (scaled topology) and
   print its rows;
 * ``attack`` — run the §VI-A trusted-node identification attack and print
@@ -20,6 +23,9 @@ Three commands cover the common workflows:
 Examples::
 
     python -m repro run --protocol raptee --nodes 300 --f 0.1 --t 0.1
+    python -m repro run --nodes 300 --rounds 200 --checkpoint-every 20
+    python -m repro run --resume repro-run.snapshot
+    python -m repro snapshot info repro-run.snapshot
     python -m repro figure fig9 --scale test
     python -m repro attack --f 0.2 --t 0.2 --eviction 1.0
     python -m repro faults --drill enclave-outage --nodes 200 --rounds 50
@@ -47,7 +53,7 @@ from repro.experiments.figures import (
     identification_figure,
     table1_sgx_overhead,
 )
-from repro.experiments.runner import run_bundle
+from repro.experiments.runner import bundle_metrics
 from repro.faults.drills import DRILLS, run_drill
 from repro.experiments.scenarios import (
     TopologySpec,
@@ -58,6 +64,11 @@ from repro.experiments.scenarios import (
 __all__ = ["main", "build_parser", "parse_eviction"]
 
 _SCALES = {"test": TEST_SCALE, "bench": BENCH_SCALE}
+
+#: Where ``repro run --checkpoint-every N`` saves when no --checkpoint-out
+#: is given — and where ``repro run --resume`` therefore finds it.
+DEFAULT_CHECKPOINT = "repro-run.snapshot"
+DEFAULT_RUN_ROUNDS = 80
 
 
 def parse_eviction(value: str) -> EvictionPolicy:
@@ -88,12 +99,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--t", type=float, default=0.10, help="trusted fraction")
     run_parser.add_argument("--poisoned", type=float, default=0.0,
                             help="injected view-poisoned trusted fraction")
-    run_parser.add_argument("--rounds", type=int, default=80)
+    run_parser.add_argument("--rounds", type=int, default=None,
+                            help="total round target (default: 80, or the "
+                                 "stored target when resuming)")
     run_parser.add_argument("--seed", type=int, default=1)
     run_parser.add_argument("--view-ratio", type=float, default=0.08)
     run_parser.add_argument("--eviction", type=parse_eviction, default=AdaptiveEviction())
     run_parser.add_argument("--sketch-unbias", action="store_true",
                             help="enable count-min stream unbiasing (future work)")
+    run_parser.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                            help="save a resumable snapshot every N rounds "
+                                 "(see repro.snapshot)")
+    run_parser.add_argument("--checkpoint-out", default=None, metavar="PATH",
+                            help=f"snapshot path (default: {DEFAULT_CHECKPOINT})")
+    run_parser.add_argument("--resume", default=None, metavar="PATH",
+                            help="restore a snapshot and continue it "
+                                 "(topology flags are ignored; state comes "
+                                 "from the snapshot)")
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument(
@@ -150,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--profile", action="store_true",
                               help="enable wall-clock profiling of hot paths")
 
+    snapshot_parser = subparsers.add_parser(
+        "snapshot", help="inspect or resume run snapshots (see repro.snapshot)"
+    )
+    snapshot_parser.add_argument(
+        "snapshot_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.snapshot",
+    )
+
     lint_parser = subparsers.add_parser(
         "lint", help="run the static invariant checks (see repro.lint)"
     )
@@ -182,28 +212,68 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_run(args) -> int:
-    spec = TopologySpec(
-        n_nodes=args.nodes,
-        byzantine_fraction=args.f,
-        trusted_fraction=args.t if args.protocol == "raptee" else 0.0,
-        poisoned_fraction=args.poisoned if args.protocol == "raptee" else 0.0,
-        view_ratio=args.view_ratio,
-    )
-    if args.protocol == "brahms":
-        bundle = build_brahms_simulation(spec, args.seed)
-    else:
-        bundle = build_raptee_simulation(
-            spec, args.seed, eviction=args.eviction,
-            sketch_unbias_enabled=args.sketch_unbias,
+    from repro.snapshot import RunState, restore, run_with_checkpoints
+
+    if args.resume:
+        from repro.snapshot import SnapshotError
+
+        try:
+            state = restore(args.resume)
+        except (SnapshotError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        protocol = state.label or "raptee"
+        rounds = args.rounds if args.rounds is not None else state.rounds_total
+        # Keep checkpointing to the same file unless redirected.
+        checkpoint_path = args.checkpoint_out or (
+            args.resume if args.checkpoint_every else None
         )
-    metrics = run_bundle(bundle, args.rounds)
-    print(f"protocol:           {args.protocol}")
+    else:
+        protocol = args.protocol
+        rounds = args.rounds if args.rounds is not None else DEFAULT_RUN_ROUNDS
+        spec = TopologySpec(
+            n_nodes=args.nodes,
+            byzantine_fraction=args.f,
+            trusted_fraction=args.t if protocol == "raptee" else 0.0,
+            poisoned_fraction=args.poisoned if protocol == "raptee" else 0.0,
+            view_ratio=args.view_ratio,
+        )
+        if protocol == "brahms":
+            bundle = build_brahms_simulation(spec, args.seed)
+        else:
+            bundle = build_raptee_simulation(
+                spec, args.seed, eviction=args.eviction,
+                sketch_unbias_enabled=args.sketch_unbias,
+            )
+        state = RunState(
+            simulation=bundle.simulation, bundle=bundle, label=protocol
+        )
+        checkpoint_path = args.checkpoint_out or (
+            DEFAULT_CHECKPOINT if args.checkpoint_every else None
+        )
+
+    if state.bundle is None:
+        print("error: this snapshot holds a bare simulation (no metric "
+              "observers); resume it with python -m repro.snapshot resume",
+              file=sys.stderr)
+        return 2
+    run_with_checkpoints(
+        state,
+        rounds=max(rounds, state.rounds_completed),
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=checkpoint_path,
+    )
+    spec = state.bundle.spec
+    metrics = bundle_metrics(state.bundle, state.rounds_completed)
+    print(f"protocol:           {protocol}")
     print(f"nodes:              {spec.n_nodes} (byz {spec.n_byzantine}, "
           f"trusted {spec.n_trusted}, poisoned +{spec.n_poisoned})")
-    print(f"rounds:             {args.rounds}")
+    print(f"rounds:             {state.rounds_completed}")
     print(f"byz IDs in views:   {metrics.resilience_percent:.1f}%")
     print(f"discovery round:    {metrics.discovery_round if metrics.discovery_round > 0 else 'not reached'}")
     print(f"stability round:    {metrics.stability_round if metrics.stability_round > 0 else 'not reached'}")
+    if checkpoint_path:
+        print(f"checkpoint:         {checkpoint_path}")
     return 0
 
 
@@ -306,6 +376,12 @@ def _command_trace(args) -> int:
     return 0
 
 
+def _command_snapshot(args) -> int:
+    from repro.snapshot.__main__ import main as snapshot_main
+
+    return snapshot_main(args.snapshot_args)
+
+
 def _command_lint(args) -> int:
     from repro.lint.cli import main as lint_main
 
@@ -344,6 +420,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "attack": _command_attack,
         "faults": _command_faults,
         "trace": _command_trace,
+        "snapshot": _command_snapshot,
         "lint": _command_lint,
         "bench": _command_bench,
     }

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, List, Optional
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.analysis.metrics import (
     resilience_from_trace,
@@ -12,8 +12,16 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.stats import Summary, summarize
 from repro.experiments.scenarios import SimulationBundle
+from repro.snapshot.seedstore import SeedResultStore
 
-__all__ = ["RunMetrics", "RepeatedMetrics", "run_bundle", "repeat"]
+__all__ = [
+    "RunMetrics",
+    "RepeatedMetrics",
+    "SeedTaskError",
+    "run_bundle",
+    "bundle_metrics",
+    "repeat",
+]
 
 
 @dataclass(frozen=True)
@@ -40,9 +48,52 @@ class RepeatedMetrics:
     runs: List[RunMetrics]
 
 
+class SeedTaskError(RuntimeError):
+    """One seed of a repeated experiment failed; the message names it."""
+
+    def __init__(self, seed: int, message: str):
+        super().__init__(message)
+        self.seed = seed
+
+    def __reduce__(self):
+        # Default RuntimeError reduction would call SeedTaskError(message)
+        # with one argument; spell the two-argument constructor out so the
+        # exception survives the pickle hop back from a pool worker.
+        return (SeedTaskError, (self.seed, self.args[0]))
+
+
+@dataclass(frozen=True)
+class _SeedTaggedRun:
+    """Picklable wrapper: failures of ``build_and_run`` name their seed.
+
+    ``ProcessPoolExecutor`` re-raises worker exceptions bare, which loses
+    the one piece of context needed to reproduce the failure — the seed.
+    """
+
+    build_and_run: Callable[[int], RunMetrics]
+
+    def __call__(self, seed: int) -> RunMetrics:
+        try:
+            return self.build_and_run(seed)
+        except Exception as exc:
+            raise SeedTaskError(
+                seed, f"seed {seed} failed: {type(exc).__name__}: {exc}"
+            ) from exc
+
+
 def run_bundle(bundle: SimulationBundle, rounds: int, tail: int = 10) -> RunMetrics:
     """Run a built simulation and compute the paper's three metrics."""
     bundle.run(rounds)
+    return bundle_metrics(bundle, rounds, tail=tail)
+
+
+def bundle_metrics(bundle: SimulationBundle, rounds: int, tail: int = 10) -> RunMetrics:
+    """The paper's three metrics from an already-executed bundle.
+
+    Split out of :func:`run_bundle` so checkpointed executions (see
+    :mod:`repro.snapshot`) can run the rounds in resumable chunks and still
+    produce the identical metrics object at the end.
+    """
     view_size = bundle.spec.brahms_config().view_size
     return RunMetrics(
         resilience=resilience_from_trace(bundle.trace.records, tail=tail),
@@ -58,6 +109,7 @@ def repeat(
     build_and_run: Callable[[int], RunMetrics],
     seeds: List[int],
     workers: Optional[int] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> RepeatedMetrics:
     """Run one experiment under several seeds and aggregate.
 
@@ -66,20 +118,58 @@ def repeat(
     miss a milestone are excluded rather than polluting the mean with -1;
     the "never reached" sentinel is -1, so a round-0 milestone counts).
 
-    ``workers`` > 1 runs seeds in parallel via a process pool; each run is
-    deterministic under its own seed and results are collected in seed
-    order, so the aggregates are identical whatever the worker count.
-    ``build_and_run`` must then be picklable (a module-level function).
+    ``workers`` > 1 runs seeds in parallel via a process pool; results are
+    aggregated in seed order whatever the completion order, so the
+    aggregates are identical whatever the worker count.  ``build_and_run``
+    must then be picklable (a module-level function).  A failing seed
+    raises :class:`SeedTaskError` naming that seed.
+
+    ``checkpoint_path`` makes the sweep resumable: every completed seed's
+    metrics are appended to a versioned JSON store at that path, and a
+    rerun with the same path skips seeds already recorded — so a sweep
+    interrupted (or killed by one bad seed) resumes where it stopped.
     """
     if workers is not None and workers < 1:
         raise ValueError("workers must be a positive integer")
-    if workers is None or workers == 1 or len(seeds) <= 1:
-        runs = [build_and_run(seed) for seed in seeds]
+    completed: Dict[int, RunMetrics] = {}
+    store: Optional[SeedResultStore] = None
+    if checkpoint_path is not None:
+        store = SeedResultStore(checkpoint_path)
+        completed = {
+            seed: RunMetrics(**payload)
+            for seed, payload in store.results().items()
+            if seed in set(seeds)
+        }
+    pending = sorted(set(seeds) - set(completed))
+    task = _SeedTaggedRun(build_and_run)
+
+    def _record(seed: int, metrics: RunMetrics) -> None:
+        completed[seed] = metrics
+        if store is not None:
+            store.record(seed, asdict(metrics))
+
+    if workers is None or workers == 1 or len(pending) <= 1:
+        for seed in pending:
+            _record(seed, task(seed))
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            # Executor.map preserves input order regardless of completion
-            # order — the property that keeps aggregation deterministic.
-            runs = list(pool.map(build_and_run, seeds))
+            futures = {pool.submit(task, seed): seed for seed in pending}
+            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+            for future in not_done:
+                future.cancel()
+            failures: List[BaseException] = []
+            # Record every seed that did finish — even when another seed
+            # failed — so a checkpointed sweep keeps the completed work.
+            for future in sorted(done, key=futures.__getitem__):
+                error = future.exception()
+                if error is None:
+                    _record(futures[future], future.result())
+                else:
+                    failures.append(error)
+            if failures:
+                raise failures[0]  # lowest-seed failure, deterministically
+
+    runs = [completed[seed] for seed in seeds]
     return RepeatedMetrics(
         resilience=summarize([run.resilience for run in runs]),
         discovery_round=summarize(

@@ -51,6 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "TopologySpec",
     "SimulationBundle",
+    "PollutionProbe",
     "build_brahms_simulation",
     "build_raptee_simulation",
 ]
@@ -154,23 +155,36 @@ def _seed_all_views(nodes: Sequence, membership: List[int], view_size: int,
         node.seed_view(bootstrap.initial_view(node.node_id, view_size))
 
 
+class PollutionProbe:
+    """The adversary's v-estimate over a live simulation.
+
+    A class rather than a closure so a fully-wired bundle stays picklable —
+    :mod:`repro.snapshot` serializes the whole object graph, and the probe
+    rides along with its simulation reference intact.
+    """
+
+    def __init__(self, simulation: Simulation, byzantine: frozenset):
+        self._simulation = simulation
+        self._byzantine = byzantine
+
+    def __call__(self) -> float:
+        total = 0.0
+        counted = 0
+        for node in self._simulation.correct_nodes():
+            view = node.view_ids()
+            if view:
+                total += sum(1 for peer in view if peer in self._byzantine) / len(view)
+                counted += 1
+        return total / counted if counted else 0.0
+
+
 def _install_pollution_probe(
     coordinator: AdversaryCoordinator, simulation: Simulation
 ) -> None:
     """Give the adversary its v-estimate (see AdversaryCoordinator docs)."""
-    byzantine = frozenset(coordinator.byzantine_ids)
-
-    def probe() -> float:
-        total = 0.0
-        counted = 0
-        for node in simulation.correct_nodes():
-            view = node.view_ids()
-            if view:
-                total += sum(1 for peer in view if peer in byzantine) / len(view)
-                counted += 1
-        return total / counted if counted else 0.0
-
-    coordinator.set_pollution_probe(probe)
+    coordinator.set_pollution_probe(
+        PollutionProbe(simulation, frozenset(coordinator.byzantine_ids))
+    )
 
 
 def build_brahms_simulation(

@@ -137,8 +137,12 @@ class Simulation:
 
     def remove_node(self, node_id: int) -> None:
         node = self.nodes.pop(node_id, None)
-        if node is not None:
-            node.alive = False
+        if node is None:
+            # Unknown ID: explicit no-op.  Touching the network here would
+            # be wrong — another registry (or nothing) may own that ID, and
+            # unregister also drops per-pair key material by ID.
+            return
+        node.alive = False
         self.network.unregister(node_id)
         self._invalidate_kind_cache()
 
@@ -223,9 +227,14 @@ class Simulation:
     # -- execution -------------------------------------------------------------
 
     def _apply_churn(self) -> None:
-        event = self._churn.events_for_round(
-            self.round_number, sorted(self.nodes), self._rng
+        # Only *alive* nodes are candidates for departure and count toward
+        # the arrival rate: a crashed (alive=False) node is already out of
+        # the protocol, so letting churn "depart" it would silently swallow
+        # a departure event and inflate UniformChurn's arrival population.
+        alive_ids = sorted(
+            node_id for node_id, node in self.nodes.items() if node.alive
         )
+        event = self._churn.events_for_round(self.round_number, alive_ids, self._rng)
         for node_id in event.departures:
             self.remove_node(node_id)
             if self.telemetry is not None:

@@ -100,6 +100,26 @@ class Network:
         self._ctr_requests_sent: Dict[str, "MetricCounter"] = {}
         self._ctr_replies_delivered: Dict[str, "MetricCounter"] = {}
 
+    # -- snapshot support ------------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the network with its pending tallies flushed and the
+        per-pair block-cipher cache dropped.
+
+        The cipher cache is a pure memo over ``_pair_keys`` (each entry is
+        re-derived on demand from the kept key), so dropping it shrinks
+        snapshots without changing a single observable byte of a resumed
+        run.  Flushing first means the serialized ``NetworkStats`` is
+        exactly what a reader of :attr:`stats` would have seen.
+        """
+        self._flush_round_tallies()
+        state = dict(self.__dict__)
+        state["_pair_ciphers"] = {}
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
         """Mirror traffic counters (and per-message events) into a hub."""
         self.telemetry = telemetry

@@ -1,5 +1,8 @@
 """Metric and statistics tests."""
 
+import math
+import statistics
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -124,6 +127,35 @@ class TestSummarize:
         assert summary.maximum == 4.0
         assert summary.count == 4
         assert summary.ci95_half_width > 0
+
+    def test_std_is_sample_standard_deviation(self):
+        # Regression: std used to be the population form (divide by n), but
+        # ci95_half_width applies the normal-CI formula, which assumes the
+        # unbiased sample estimator (divide by n-1).
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.std == pytest.approx(math.sqrt(5.0 / 3.0))
+        assert summary.std == pytest.approx(statistics.stdev([1.0, 2.0, 3.0, 4.0]))
+        assert summary.ci95_half_width == pytest.approx(
+            1.96 * math.sqrt(5.0 / 3.0) / 2.0
+        )
+
+    def test_zero_samples_returns_none_not_summary(self):
+        assert summarize([]) is None
+        assert summarize(()) is None
+
+    def test_one_sample_has_zero_spread(self):
+        summary = summarize([7.25])
+        assert summary.count == 1
+        assert summary.mean == 7.25
+        assert summary.minimum == summary.maximum == 7.25
+        # n-1 would divide by zero; one sample is defined as zero spread.
+        assert summary.std == 0.0
+        assert summary.ci95_half_width == 0.0
+
+    def test_constant_sample_has_zero_std(self):
+        summary = summarize([2.0, 2.0, 2.0])
+        assert summary.std == 0.0
+        assert summary.ci95_half_width == 0.0
 
     @given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50))
     def test_mean_within_min_max(self, values):

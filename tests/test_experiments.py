@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.eviction import AdaptiveEviction, FixedEviction
-from repro.experiments.runner import repeat, run_bundle
+from repro.experiments.runner import RunMetrics, SeedTaskError, repeat, run_bundle
 from repro.experiments.scenarios import (
     TopologySpec,
     build_brahms_simulation,
@@ -17,6 +17,14 @@ _WORKER_SPEC = TopologySpec(n_nodes=30, byzantine_fraction=0.1)
 def _build_and_run_small(seed):
     # Module level so ProcessPoolExecutor can pickle it (workers > 1).
     return run_bundle(build_brahms_simulation(_WORKER_SPEC, seed), rounds=5)
+
+
+def _fail_on_seed_three(seed):
+    # Module level for the same pickling reason.
+    if seed == 3:
+        raise RuntimeError("boom")
+    return RunMetrics(resilience=0.1 * seed, discovery_round=2,
+                      stability_round=3, rounds=5)
 
 
 class TestTopologySpec:
@@ -180,3 +188,109 @@ class TestRepeat:
         assert repeated.discovery_round.count == 1
         assert repeated.discovery_round.mean == 0
         assert repeated.stability_round.count == 2
+
+
+class TestRepeatFailureReporting:
+    def test_serial_failure_names_the_seed(self):
+        with pytest.raises(SeedTaskError, match="seed 3 failed.*boom") as excinfo:
+            repeat(_fail_on_seed_three, seeds=[1, 3, 5])
+        assert excinfo.value.seed == 3
+
+    def test_pool_failure_names_the_seed(self):
+        # Regression: the pool used to re-raise the bare worker exception,
+        # losing which seed produced it.
+        with pytest.raises(SeedTaskError, match="seed 3 failed.*boom") as excinfo:
+            repeat(_fail_on_seed_three, seeds=[1, 2, 3, 4], workers=2)
+        assert excinfo.value.seed == 3
+
+    def test_seed_task_error_survives_pickling(self):
+        import pickle
+
+        error = SeedTaskError(7, "seed 7 failed: ValueError: nope")
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, SeedTaskError)
+        assert clone.seed == 7
+        assert str(clone) == str(error)
+
+    def test_original_exception_chained(self):
+        with pytest.raises(SeedTaskError) as excinfo:
+            repeat(_fail_on_seed_three, seeds=[3])
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+
+class TestRepeatCheckpoint:
+    def test_resume_skips_completed_seeds(self, tmp_path):
+        path = str(tmp_path / "repeat.json")
+        calls = []
+
+        def build_and_run(seed):
+            calls.append(seed)
+            return RunMetrics(resilience=0.1 * seed, discovery_round=2,
+                              stability_round=3, rounds=5)
+
+        first = repeat(build_and_run, seeds=[1, 2, 3], checkpoint_path=path)
+        assert calls == [1, 2, 3]
+
+        second = repeat(build_and_run, seeds=[1, 2, 3], checkpoint_path=path)
+        assert calls == [1, 2, 3]  # nothing re-ran
+        assert second == first
+
+    def test_resume_runs_only_missing_seeds(self, tmp_path):
+        path = str(tmp_path / "repeat.json")
+        calls = []
+
+        def build_and_run(seed):
+            calls.append(seed)
+            return RunMetrics(resilience=0.1 * seed, discovery_round=2,
+                              stability_round=3, rounds=5)
+
+        repeat(build_and_run, seeds=[1, 2], checkpoint_path=path)
+        repeated = repeat(build_and_run, seeds=[1, 2, 4, 5], checkpoint_path=path)
+        assert calls == [1, 2, 4, 5]
+        assert [run.resilience for run in repeated.runs] == \
+            pytest.approx([0.1, 0.2, 0.4, 0.5])
+
+    def test_failed_sweep_keeps_completed_seeds(self, tmp_path):
+        from repro.snapshot import SeedResultStore
+
+        path = str(tmp_path / "repeat.json")
+        with pytest.raises(SeedTaskError):
+            repeat(_fail_on_seed_three, seeds=[1, 2, 3], checkpoint_path=path)
+        assert sorted(SeedResultStore(path).results()) == [1, 2]
+
+        # Resuming after fixing the bad seed re-runs only seed 3.
+        calls = []
+
+        def fixed(seed):
+            calls.append(seed)
+            return RunMetrics(resilience=0.1 * seed, discovery_round=2,
+                              stability_round=3, rounds=5)
+
+        repeated = repeat(fixed, seeds=[1, 2, 3], checkpoint_path=path)
+        assert calls == [3]
+        assert len(repeated.runs) == 3
+
+    def test_pool_failure_still_persists_finished_seeds(self, tmp_path):
+        from repro.snapshot import SeedResultStore
+
+        path = str(tmp_path / "repeat.json")
+        with pytest.raises(SeedTaskError):
+            repeat(_fail_on_seed_three, seeds=[1, 2, 3, 4], workers=2,
+                   checkpoint_path=path)
+        recorded = sorted(SeedResultStore(path).results())
+        assert 3 not in recorded
+        assert recorded  # at least one completed seed was kept
+
+    def test_checkpoint_ignores_foreign_seeds(self, tmp_path):
+        # Results recorded for seeds outside the requested set don't leak
+        # into the aggregation.
+        path = str(tmp_path / "repeat.json")
+
+        def build_and_run(seed):
+            return RunMetrics(resilience=0.1 * seed, discovery_round=2,
+                              stability_round=3, rounds=5)
+
+        repeat(build_and_run, seeds=[1, 2, 9], checkpoint_path=path)
+        repeated = repeat(build_and_run, seeds=[1, 2], checkpoint_path=path)
+        assert [run.resilience for run in repeated.runs] == \
+            pytest.approx([0.1, 0.2])

@@ -6,7 +6,7 @@ from typing import Optional
 import pytest
 
 from repro.sim.bootstrap import UniformBootstrap
-from repro.sim.churn import CatastrophicFailure, NoChurn, UniformChurn
+from repro.sim.churn import ChurnEvent, CatastrophicFailure, NoChurn, UniformChurn
 from repro.sim.engine import Observer, Simulation
 from repro.sim.messages import Message
 from repro.sim.network import Network
@@ -101,6 +101,33 @@ class TestMembership:
         sim.add_node(PhaseRecorder(10, log))
         assert len(sim.ids_of_kind(NodeKind.HONEST)) == 4
 
+    def test_remove_unknown_node_is_noop(self):
+        # Regression: removing an ID that was never registered used to call
+        # network.unregister anyway, which drops per-pair key material by ID.
+        sim, _log = make_sim(n=3)
+        unregistered = []
+        original = sim.network.unregister
+        sim.network.unregister = lambda node_id: (
+            unregistered.append(node_id), original(node_id))
+
+        sim.remove_node(99)
+        assert unregistered == []
+        assert len(sim.alive_nodes()) == 3
+
+        sim.remove_node(1)
+        assert unregistered == [1]
+        assert len(sim.alive_nodes()) == 2
+
+    def test_remove_node_twice_unregisters_once(self):
+        sim, _log = make_sim(n=3)
+        unregistered = []
+        original = sim.network.unregister
+        sim.network.unregister = lambda node_id: (
+            unregistered.append(node_id), original(node_id))
+        sim.remove_node(2)
+        sim.remove_node(2)
+        assert unregistered == [2]
+
 
 class TestChurn:
     def test_no_churn_keeps_membership(self):
@@ -148,6 +175,79 @@ class TestChurn:
             UniformChurn(leave_rate=1.0, join_rate=0.0)
         with pytest.raises(ValueError):
             CatastrophicFailure(at_round=1, fraction=1.5)
+
+    def test_crashed_nodes_excluded_from_churn_candidates(self):
+        # Regression: the engine used to offer every *registered* ID to the
+        # churn model, so a crashed (alive=False) node could be picked as a
+        # departure — silently swallowing the event — and still counted
+        # toward UniformChurn's arrival population.
+        class RecordingChurn(NoChurn):
+            def __init__(self):
+                self.offered = []
+
+            def events_for_round(self, round_number, alive_ids, rng):
+                self.offered.append(list(alive_ids))
+                return ChurnEvent(departures=[], arrivals=0)
+
+        churn = RecordingChurn()
+        sim, _log = make_sim(n=5, churn=churn)
+        sim.set_node_alive(1, False)
+        sim.set_node_alive(3, False)
+        sim.run_round()
+        assert churn.offered == [[0, 2, 4]]
+
+    def test_crashed_nodes_do_not_inflate_arrival_population(self):
+        # UniformChurn sizes arrivals off the population it is offered:
+        # with join_rate=1.0 and 2 of 4 nodes crashed, exactly 2 fresh
+        # nodes must arrive (4 before the fix).
+        log = []
+        sim, _ = make_sim(
+            n=4,
+            churn=UniformChurn(leave_rate=0.0, join_rate=1.0),
+            factory=lambda node_id: PhaseRecorder(node_id, log),
+        )
+        sim.set_node_alive(0, False)
+        sim.set_node_alive(2, False)
+        sim.run_round()
+        arrivals = [nid for nid in sim.nodes if nid >= 4]
+        assert arrivals == [4, 5]
+
+    def test_crash_restart_survives_total_departure_churn(self):
+        # A node that is down during a churn wave must not be *departed*
+        # (permanently removed) by it: crash/restart and churn are distinct
+        # lifecycles.  With leave_rate≈1 every alive node departs, but the
+        # crashed node stays registered and can come back.
+        sim, _log = make_sim(n=4, churn=UniformChurn(leave_rate=0.99, join_rate=0.0))
+        sim.set_node_alive(3, False)
+        for _ in range(5):
+            sim.run_round()
+        assert 3 in sim.nodes
+        sim.set_node_alive(3, True)
+        assert sim.alive_nodes() == [sim.nodes[3]]
+
+    def test_catastrophic_failure_below_one_node_kills_nobody(self):
+        # fraction·N < 1 truncates to zero departures — the wave is a no-op,
+        # not a crash or a single-node kill.
+        sim, _log = make_sim(
+            n=10, churn=CatastrophicFailure(at_round=1, fraction=0.09)
+        )
+        sim.run(2)
+        assert len(sim.alive_nodes()) == 10
+
+    def test_arrivals_gossip_in_their_join_round(self):
+        # Churn is applied at the start of the round, so a node arriving at
+        # round r runs begin/gossip/end in round r — not r+1.
+        log = []
+        sim, _ = make_sim(
+            n=4,
+            churn=UniformChurn(leave_rate=0.0, join_rate=0.5),
+            factory=lambda node_id: PhaseRecorder(node_id, log),
+        )
+        sim.run_round()
+        new_ids = [nid for nid in sim.nodes if nid >= 4]
+        assert new_ids == [4, 5]
+        for nid in new_ids:
+            assert ("gossip", nid, 1) in log
 
 
 class TestBootstrap:

@@ -1,0 +1,325 @@
+"""Unit tests for the snapshot envelope, capture layer and seed store."""
+
+from __future__ import annotations
+
+import copy
+import json
+import pickle
+import random
+
+import pytest
+
+from repro.crypto.prng import Sha256Prng
+from repro.sim.engine import Simulation
+from repro.sim.network import Network
+from repro.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    RunState,
+    SeedResultStore,
+    SnapshotError,
+    SnapshotVersionError,
+    describe,
+    restore,
+    run_with_checkpoints,
+    save,
+)
+from repro.snapshot.format import (
+    SNAPSHOT_MAGIC,
+    read_envelope,
+    read_header,
+    write_envelope,
+)
+
+
+def _small_sim(seed=3) -> Simulation:
+    from repro.experiments.scenarios import TopologySpec, build_brahms_simulation
+
+    spec = TopologySpec(n_nodes=12, byzantine_fraction=0.0, view_ratio=0.3)
+    return build_brahms_simulation(spec, seed=seed).simulation
+
+
+def _write_sample(path, state=None, kind="unit-test", meta=None):
+    write_envelope(str(path), kind, meta or {"label": "x"}, state or {"a": 1})
+
+
+def _rewrite_header(path, mutate):
+    """Parse the header line, apply ``mutate``, and write the file back."""
+    blob = path.read_bytes()
+    body = blob[len(SNAPSHOT_MAGIC):]
+    header_line, payload = body.split(b"\n", 1)
+    header = json.loads(header_line)
+    mutate(header)
+    path.write_bytes(
+        SNAPSHOT_MAGIC + json.dumps(header, sort_keys=True).encode() + b"\n" + payload
+    )
+
+
+class TestEnvelope:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        _write_sample(path, state={"rounds": [1, 2, 3]}, meta={"label": "demo"})
+        header, state = read_envelope(str(path), expected_kind="unit-test")
+        assert state == {"rounds": [1, 2, 3]}
+        assert header["format_version"] == SNAPSHOT_FORMAT_VERSION
+        assert header["meta"] == {"label": "demo"}
+
+    def test_header_readable_without_unpickling(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        _write_sample(path)
+        # Corrupt the payload: the header must still parse fine.
+        path.write_bytes(path.read_bytes()[:-4] + b"\xff\xff\xff\xff")
+        header = read_header(str(path))
+        assert header["kind"] == "unit-test"
+
+    def test_version_mismatch_rejected_with_clear_error(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        _write_sample(path)
+        _rewrite_header(path, lambda h: h.update(format_version=99))
+        with pytest.raises(SnapshotVersionError, match="version 99"):
+            read_header(str(path))
+        with pytest.raises(SnapshotVersionError, match=str(SNAPSHOT_FORMAT_VERSION)):
+            read_envelope(str(path))
+
+    def test_missing_version_rejected(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        _write_sample(path)
+        _rewrite_header(path, lambda h: h.pop("format_version"))
+        with pytest.raises(SnapshotVersionError):
+            read_header(str(path))
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        path.write_bytes(b"definitely not a snapshot")
+        with pytest.raises(SnapshotError, match="bad magic"):
+            read_header(str(path))
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        _write_sample(path, kind="other-kind")
+        with pytest.raises(SnapshotError, match="expected 'unit-test'"):
+            read_envelope(str(path), expected_kind="unit-test")
+
+    def test_corrupt_payload_fails_checksum(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        _write_sample(path)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SnapshotError, match="checksum"):
+            read_envelope(str(path))
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        _write_sample(path)
+        path.write_bytes(path.read_bytes()[:-2])
+        with pytest.raises(SnapshotError, match="truncated"):
+            read_envelope(str(path))
+
+    def test_unpicklable_state_raises_snapshot_error(self, tmp_path):
+        path = tmp_path / "state.snapshot"
+        with pytest.raises(SnapshotError, match="closure or lambda"):
+            write_envelope(str(path), "unit-test", {}, lambda: None)
+        # The atomic write never left a partial file behind.
+        assert not path.exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestPrngPickleFidelity:
+    """PRNG streams must continue, not restart, across the pickle seam."""
+
+    def test_sha256_prng_resumes_mid_stream(self):
+        prng = Sha256Prng(0xC0FFEE)
+        for _ in range(13):
+            prng.random()
+        clone = pickle.loads(pickle.dumps(prng))
+        assert [clone.random() for _ in range(50)] == [
+            prng.random() for _ in range(50)
+        ]
+
+    def test_mersenne_twister_resumes_mid_stream(self):
+        rng = random.Random(42)
+        rng.random()
+        clone = pickle.loads(pickle.dumps(rng))
+        assert [clone.random() for _ in range(50)] == [
+            rng.random() for _ in range(50)
+        ]
+
+    def test_network_pickle_drops_cipher_cache_but_keeps_keys(self):
+        network = Network(random.Random(7), loss_rate=0.0, encrypt=True)
+        key = network._pair_key(1, 2)
+        network._pair_cipher(1, 2)
+        assert network._pair_ciphers
+        clone = pickle.loads(pickle.dumps(network))
+        assert clone._pair_ciphers == {}
+        assert clone._pair_key(1, 2) == key
+
+
+class TestCaptureRestore:
+    def test_save_restore_bare_simulation(self, tmp_path):
+        simulation = _small_sim(seed=3)
+        simulation.run(2)
+        path = tmp_path / "run.snapshot"
+        state = save(simulation, str(path))
+        assert isinstance(state, RunState)
+
+        resumed = restore(str(path))
+        assert resumed.rounds_completed == 2
+        resumed.run_chunk(3)
+        straight = _small_sim(seed=3)
+        straight.run(5)
+        assert {
+            node_id: node.view_ids()
+            for node_id, node in resumed.simulation.nodes.items()
+        } == {
+            node_id: node.view_ids()
+            for node_id, node in straight.nodes.items()
+        }
+
+    def test_describe_exposes_meta_without_state(self, tmp_path):
+        simulation = _small_sim(seed=3)
+        simulation.run(2)
+        path = tmp_path / "run.snapshot"
+        save(RunState(simulation=simulation, rounds_total=9, label="demo",
+                      extra={"experiment": "fig3"}), str(path))
+        header = describe(str(path))
+        assert header["kind"] == "run-state"
+        assert header["meta"]["rounds_completed"] == 2
+        assert header["meta"]["rounds_total"] == 9
+        assert header["meta"]["label"] == "demo"
+        assert header["meta"]["nodes"] == 12
+        assert header["meta"]["experiment"] == "fig3"
+
+    def test_save_rejects_foreign_objects(self, tmp_path):
+        with pytest.raises(TypeError, match="cannot snapshot a dict"):
+            save({"not": "a simulation"}, str(tmp_path / "x.snapshot"))
+
+    def test_restore_rejects_other_kinds(self, tmp_path):
+        path = tmp_path / "other.snapshot"
+        _write_sample(path, kind="repeat-checkpoint")
+        with pytest.raises(SnapshotError, match="run-state"):
+            restore(str(path))
+
+
+class TestRunWithCheckpoints:
+    def test_checkpoints_written_every_chunk(self, tmp_path):
+        path = tmp_path / "run.snapshot"
+        simulation = _small_sim(seed=5)
+        state = run_with_checkpoints(
+            simulation, rounds=5, checkpoint_every=2, checkpoint_path=str(path)
+        )
+        assert state.rounds_completed == 5
+        # The final chunk is checkpointed too, so the stored state is the
+        # finished run and can seed an extension.
+        final = restore(str(path))
+        assert final.rounds_completed == 5
+        extended = run_with_checkpoints(
+            final, rounds=8, checkpoint_every=2, checkpoint_path=str(path)
+        )
+        assert extended.rounds_completed == 8
+
+    def test_resume_honours_stored_target(self, tmp_path):
+        path = tmp_path / "run.snapshot"
+        state = RunState(simulation=_small_sim(seed=5), rounds_total=6)
+        state.run_chunk(2)
+        save(state, str(path))
+        resumed = run_with_checkpoints(restore(str(path)))
+        assert resumed.rounds_completed == 6
+
+    def test_validation_errors(self, tmp_path):
+        simulation = _small_sim(seed=5)
+        with pytest.raises(ValueError, match="positive round target"):
+            run_with_checkpoints(simulation)
+        with pytest.raises(ValueError, match="non-negative"):
+            run_with_checkpoints(simulation, rounds=3, checkpoint_every=-1)
+        with pytest.raises(ValueError, match="checkpoint_path"):
+            run_with_checkpoints(simulation, rounds=3, checkpoint_every=2)
+
+    def test_rounds_target_already_met_is_noop(self, tmp_path):
+        simulation = _small_sim(seed=5)
+        simulation.run(4)
+        before = copy.deepcopy(
+            {nid: node.view_ids() for nid, node in simulation.nodes.items()}
+        )
+        state = run_with_checkpoints(simulation, rounds=4)
+        assert state.rounds_completed == 4
+        assert {
+            nid: node.view_ids() for nid, node in state.simulation.nodes.items()
+        } == before
+
+
+class TestSnapshotCli:
+    def test_info_prints_header(self, tmp_path, capsys):
+        from repro.snapshot.__main__ import main
+
+        path = tmp_path / "run.snapshot"
+        simulation = _small_sim(seed=3)
+        simulation.run(1)
+        save(RunState(simulation=simulation, rounds_total=4, label="demo"),
+             str(path))
+        assert main(["info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"format version:     {SNAPSHOT_FORMAT_VERSION}" in out
+        assert "label:              demo" in out
+
+    def test_version_mismatch_is_a_clean_error(self, tmp_path, capsys):
+        from repro.snapshot.__main__ import main
+
+        path = tmp_path / "old.snapshot"
+        _write_sample(path, kind="run-state")
+        _rewrite_header(path, lambda h: h.update(format_version=99))
+        assert main(["info", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "version 99" in err
+
+    def test_resume_of_garbage_file_is_a_clean_error(self, tmp_path, capsys):
+        from repro.snapshot.__main__ import main
+
+        path = tmp_path / "garbage"
+        path.write_bytes(b"not a snapshot at all")
+        assert main(["resume", str(path)]) == 1
+        assert "bad magic" in capsys.readouterr().err
+
+
+class TestSeedResultStore:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "repeat.json"
+        store = SeedResultStore(str(path))
+        assert store.results() == {}
+        store.record(7, {"seed": 7, "pollution": 0.25})
+        store.record(1, {"seed": 1, "pollution": 0.50})
+
+        reloaded = SeedResultStore(str(path))
+        assert reloaded.results() == {
+            1: {"seed": 1, "pollution": 0.50},
+            7: {"seed": 7, "pollution": 0.25},
+        }
+
+    def test_results_returns_a_copy(self, tmp_path):
+        store = SeedResultStore(str(tmp_path / "repeat.json"))
+        store.record(1, {"seed": 1})
+        store.results().clear()
+        assert store.results() == {1: {"seed": 1}}
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "repeat.json"
+        path.write_text(json.dumps(
+            {"format_version": 99, "kind": "repeat-checkpoint", "results": {}}
+        ))
+        with pytest.raises(SnapshotVersionError, match="99"):
+            SeedResultStore(str(path))
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "repeat.json"
+        path.write_text(json.dumps(
+            {"format_version": SNAPSHOT_FORMAT_VERSION, "kind": "run-state",
+             "results": {}}
+        ))
+        with pytest.raises(SnapshotError, match="repeat-checkpoint"):
+            SeedResultStore(str(path))
+
+    def test_corrupt_json_rejected(self, tmp_path):
+        path = tmp_path / "repeat.json"
+        path.write_text("{not json")
+        with pytest.raises(SnapshotError, match="corrupt"):
+            SeedResultStore(str(path))
