@@ -92,10 +92,17 @@ class PartialView:
         framework's trick so that to-be-healed entries are never sent)."""
         if count <= 0 or not self._entries:
             return
-        by_age = sorted(self._entries, key=lambda entry: entry.age, reverse=True)
-        oldest = set(id(entry) for entry in by_age[:count])
-        kept = [entry for entry in self._entries if id(entry) not in oldest]
-        moved = [entry for entry in self._entries if id(entry) in oldest]
+        # Partition by index, not object identity: stable sort keeps the
+        # original order among equal ages, and an entry object that appears
+        # twice moves exactly as many copies as selected.
+        order = sorted(
+            range(len(self._entries)),
+            key=lambda index: self._entries[index].age,
+            reverse=True,
+        )
+        oldest = set(order[:count])
+        kept = [e for i, e in enumerate(self._entries) if i not in oldest]
+        moved = [e for i, e in enumerate(self._entries) if i in oldest]
         self._entries = kept + moved
 
     def head(self, count: int) -> List[ViewEntry]:

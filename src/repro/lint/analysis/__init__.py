@@ -1,0 +1,54 @@
+"""Whole-program analysis for :mod:`repro.lint`.
+
+The per-file AST rules catch what a single parse tree can show; the
+invariants that actually broke in practice (PR 5's un-picklable closure,
+mutable state silently dropped across a snapshot seam) span files.  This
+package builds a *project model* over every linted source file and gives
+rules three whole-program facts to reason with:
+
+1. a **symbol table** — every module's imports, top-level functions,
+   classes, methods and ``__init__``-assigned attributes
+   (:mod:`repro.lint.analysis.model`);
+2. an **import graph** and a best-effort **call graph** resolving call
+   sites to project functions along imports, ``self.`` dispatch and
+   constructor results (:mod:`repro.lint.analysis.callgraph`);
+3. an **intraprocedural dataflow core with interprocedural taint
+   propagation** — rules declare sources/sinks/sanitizers and the engine
+   pushes labels through assignments, returns and call edges using
+   per-function summaries run to a fixpoint
+   (:mod:`repro.lint.analysis.dataflow`,
+   :mod:`repro.lint.analysis.taint`).
+
+Everything the model records is picklable and derived from source text
+alone, so :mod:`repro.lint.analysis.cache` can key per-file results on a
+content hash: warm whole-program runs never re-parse unchanged files.
+"""
+
+from repro.lint.analysis.cache import AnalysisCache
+from repro.lint.analysis.callgraph import CallGraph
+from repro.lint.analysis.dataflow import FunctionSummary, TaintPolicy, evaluate_bindings
+from repro.lint.analysis.model import (
+    ClassModel,
+    FunctionModel,
+    ModuleModel,
+    ProjectModel,
+    build_module_model,
+    project_from_sources,
+)
+from repro.lint.analysis.taint import SinkHit, TaintAnalysis
+
+__all__ = [
+    "AnalysisCache",
+    "CallGraph",
+    "ClassModel",
+    "FunctionModel",
+    "FunctionSummary",
+    "ModuleModel",
+    "ProjectModel",
+    "SinkHit",
+    "TaintAnalysis",
+    "TaintPolicy",
+    "build_module_model",
+    "evaluate_bindings",
+    "project_from_sources",
+]

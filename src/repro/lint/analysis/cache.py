@@ -1,0 +1,91 @@
+"""Content-hash-keyed per-file analysis cache.
+
+Whole-program runs parse every file under ``src`` and ``tests``; almost
+none of them change between two invocations.  The cache stores, per file,
+a pickled record keyed on the SHA-256 of the source text (plus the model
+version and the rule-battery signature), holding
+
+* the lowered :class:`~repro.lint.analysis.model.ModuleModel`,
+* the per-file rule findings (pre-baseline, post-suppression),
+* the parsed suppression table (whole-program findings are filtered
+  against it without re-reading the source).
+
+A warm run therefore does no ``ast.parse`` at all for unchanged files —
+that is what keeps ``repro lint`` over the full tree under a few seconds.
+Corrupt or stale entries are treated as misses, never as errors: the cache
+can always be deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Optional
+
+__all__ = ["AnalysisCache", "DEFAULT_CACHE_DIR"]
+
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+#: Bump to invalidate every existing cache entry (format change).
+_CACHE_FORMAT = 2
+
+
+class AnalysisCache:
+    """A directory of pickled per-file analysis records."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(source: str, battery_signature: str) -> str:
+        hasher = hashlib.sha256()
+        hasher.update(f"format={_CACHE_FORMAT};".encode())
+        hasher.update(battery_signature.encode())
+        hasher.update(b";")
+        hasher.update(source.encode("utf-8"))
+        return hasher.hexdigest()
+
+    def _path_for(self, key: str) -> str:
+        # Two-level fan-out keeps the directory listing manageable.
+        return os.path.join(self.directory, key[:2], key + ".pickle")
+
+    def get(self, key: str) -> Optional[Any]:
+        path = self._path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, key: str, record: Any) -> None:
+        path = self._path_for(key)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            # Write-then-rename: a concurrent reader never sees a torn file.
+            fd, temp_path = tempfile.mkstemp(
+                dir=os.path.dirname(path), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(temp_path, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            # A read-only checkout or full disk degrades to cold runs.
+            pass
+
+    def stats(self) -> str:
+        return f"{self.hits} hit(s), {self.misses} miss(es)"

@@ -1,0 +1,199 @@
+"""Best-effort call graph over the project model.
+
+Call sites are resolved through the cases that matter for this codebase:
+
+* bare names — local defs, ``from x import f`` and ``import x`` aliases,
+  one level of package re-exports (``from repro.snapshot import save``);
+* ``self.method(...)`` — same class, then the recorded base-class chain;
+* ``module.func(...)`` / ``package.module.func(...)`` attribute chains;
+* constructor calls — resolving to a class adds an edge to ``__init__``;
+* ``obj.method(...)`` where ``obj`` is a local name bound to a constructor
+  call earlier in the same function (the dataflow bindings pass).
+
+Unresolved calls are kept with their terminal attribute name so flow rules
+can still apply name heuristics to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.analysis.dataflow import evaluate_bindings
+from repro.lint.analysis.model import (
+    ClassModel,
+    FunctionModel,
+    ModuleModel,
+    ProjectModel,
+)
+
+__all__ = ["CallGraph", "ResolvedCall"]
+
+
+@dataclass
+class ResolvedCall:
+    """One call site inside ``caller`` with its resolution."""
+
+    caller: FunctionModel
+    call: tuple              # ("call", func_value, args, kwargs)
+    lineno: int
+    col: int
+    targets: Tuple[str, ...] = ()       # resolved dotted names (may be empty)
+    constructed: Optional[str] = None   # class qualname when this is C(...)
+
+    @property
+    def terminal_name(self) -> Optional[str]:
+        """The last identifier of the callee (``foo`` in ``a.b.foo(...)``)."""
+        func = self.call[1]
+        if func[0] == "name":
+            return func[1]
+        if func[0] == "attr":
+            return func[2]
+        return None
+
+
+class CallGraph:
+    """Resolved call edges plus per-function call-site lists."""
+
+    @classmethod
+    def for_project(cls, project: ProjectModel) -> "CallGraph":
+        """Build once per project; every flow rule shares the same graph."""
+        graph = getattr(project, "_shared_callgraph", None)
+        if graph is None:
+            graph = cls(project)
+            project._shared_callgraph = graph
+        return graph
+
+    def __init__(self, project: ProjectModel):
+        self.project = project
+        self.sites: Dict[str, List[ResolvedCall]] = {}
+        self._callees: Dict[str, Set[str]] = {}
+        self._callers: Dict[str, Set[str]] = {}
+        for fn in project.all_functions():
+            self.sites[fn.qualname] = list(self._resolve_function(fn))
+        for qualname, calls in self.sites.items():
+            for call in calls:
+                for target in call.targets:
+                    self._callees.setdefault(qualname, set()).add(target)
+                    self._callers.setdefault(target, set()).add(qualname)
+
+    # -- queries -----------------------------------------------------------
+
+    def callees(self, qualname: str) -> Set[str]:
+        return self._callees.get(qualname, set())
+
+    def callers(self, qualname: str) -> Set[str]:
+        return self._callers.get(qualname, set())
+
+    def calls_in(self, fn: FunctionModel) -> List[ResolvedCall]:
+        return self.sites.get(fn.qualname, [])
+
+    def all_sites(self) -> Iterator[ResolvedCall]:
+        for calls in self.sites.values():
+            for call in calls:
+                yield call
+
+    # -- resolution ---------------------------------------------------------
+
+    def _resolve_function(self, fn: FunctionModel) -> Iterator[ResolvedCall]:
+        module = fn.module
+        if module is None:
+            return
+        bindings = evaluate_bindings(fn)
+        for event in fn.events:
+            if event[0] != "call":
+                continue
+            _tag, call, lineno, col = event
+            targets, constructed = self.resolve_call(module, fn, call, bindings)
+            yield ResolvedCall(
+                caller=fn, call=call, lineno=lineno, col=col,
+                targets=tuple(sorted(targets)), constructed=constructed,
+            )
+
+    def resolve_call(
+        self,
+        module: ModuleModel,
+        fn: Optional[FunctionModel],
+        call: tuple,
+        bindings: Optional[Dict[str, tuple]] = None,
+    ) -> Tuple[Set[str], Optional[str]]:
+        """Resolve one lowered ``("call", ...)`` value to target qualnames."""
+        project = self.project
+        func = call[1]
+        targets: Set[str] = set()
+        constructed: Optional[str] = None
+
+        def _class_for(value: tuple) -> Optional[ClassModel]:
+            cls = project.resolve_class(module, value)
+            if cls is not None:
+                return cls
+            # A name bound earlier in this function to a constructor call.
+            if bindings and value[0] == "name":
+                bound = bindings.get(value[1])
+                if bound is not None and bound[0] == "call":
+                    return project.resolve_class(module, bound[1])
+            if value[0] == "call":
+                return project.resolve_class(module, value[1])
+            return None
+
+        if func[0] == "name":
+            dotted = project.resolve_name(module, func[1])
+            if dotted is not None:
+                resolved = project._resolve_reexport(dotted)
+                cls = project.class_model(resolved)
+                if cls is not None:
+                    constructed = cls.qualname
+                    init = project.find_method(cls, "__init__")
+                    if init is not None:
+                        targets.add(init.qualname)
+                elif project.function(resolved) is not None or resolved.startswith("builtins."):
+                    targets.add(resolved)
+        elif func[0] == "attr":
+            base, attr = func[1], func[2]
+            if base == ("name", "self") and fn is not None and fn.class_name:
+                owner = project.class_model(
+                    f"{module.module_name}.{fn.class_name}"
+                )
+                if owner is not None:
+                    method = project.find_method(owner, attr)
+                    if method is not None:
+                        targets.add(method.qualname)
+            if not targets:
+                dotted = project.resolve_value(module, func)
+                if dotted is not None:
+                    resolved = project._resolve_reexport(dotted)
+                    cls = project.class_model(resolved)
+                    if cls is not None:
+                        constructed = cls.qualname
+                        init = project.find_method(cls, "__init__")
+                        if init is not None:
+                            targets.add(init.qualname)
+                    elif project.function(resolved) is not None or resolved.startswith("builtins."):
+                        targets.add(resolved)
+            if not targets:
+                receiver = _class_for(base)
+                if receiver is not None:
+                    method = project.find_method(receiver, attr)
+                    if method is not None:
+                        targets.add(method.qualname)
+        return targets, constructed
+
+    # -- debugging dump -----------------------------------------------------
+
+    def dump(self, prefix: str = "") -> str:
+        """Human-readable edge list, ``caller -> callee`` per line."""
+        lines = []
+        for caller in sorted(self._callees):
+            if prefix and not caller.startswith(prefix):
+                continue
+            for callee in sorted(self._callees[caller]):
+                lines.append(f"{caller} -> {callee}")
+        unresolved = 0
+        for call in self.all_sites():
+            if not call.targets:
+                unresolved += 1
+        lines.append(
+            f"# {sum(len(edges) for edges in self._callees.values())} edges, "
+            f"{len(self.sites)} functions, {unresolved} unresolved call sites"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,355 @@
+"""Intraprocedural dataflow core for the flow rules.
+
+One forward pass over a function's lowered events computes, per local name,
+(a) the value descriptor it was last bound to (*bindings* — used by the
+call graph to type constructor results) and (b) the set of *taint labels*
+reaching it.  Labels are either plain strings (a real source, e.g.
+``"enclave-group-key"``) or the symbolic ``("param", i)`` marker meaning
+"whatever flows into parameter *i*" — the latter is what makes summaries
+composable across call edges (:mod:`repro.lint.analysis.taint`).
+
+Rules plug in a :class:`TaintPolicy` naming their sources, sinks and
+sanitizers; the engine is family-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.analysis.model import FunctionModel, ModuleModel, ProjectModel
+
+__all__ = [
+    "FunctionSummary",
+    "SinkHit",
+    "TaintPolicy",
+    "evaluate_bindings",
+    "evaluate_function",
+]
+
+#: Builtins through which taint does not meaningfully flow (their result
+#: reveals only type/size facts, not the value).
+_NON_PROPAGATING_BUILTINS = frozenset(
+    {"builtins.len", "builtins.isinstance", "builtins.type", "builtins.bool",
+     "builtins.callable", "builtins.issubclass"}
+)
+
+
+def evaluate_bindings(fn: FunctionModel) -> Dict[str, tuple]:
+    """Last value descriptor bound to each local name (single forward pass)."""
+    bindings: Dict[str, tuple] = {}
+    for event in fn.events:
+        if event[0] == "assign":
+            bindings[event[1]] = event[2]
+        elif event[0] == "def":
+            nested = fn.nested[event[2]]
+            bindings[event[1]] = (
+                "localfunc", nested.qualname, nested.has_free_vars, nested.lineno
+            )
+    return bindings
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """Tainted data reached a sink at a concrete source location."""
+
+    qualname: str
+    path: str
+    scope_path: str
+    lineno: int
+    col: int
+    sink: str
+    labels: FrozenSet[str]
+    via: Tuple[str, ...] = ()   # interprocedural call chain, outermost first
+
+
+#: A sink reachable from a parameter: (sink name, call chain to it).
+ParamSink = Tuple[str, Tuple[str, ...]]
+
+
+@dataclass
+class FunctionSummary:
+    """What a function does with taint, as seen from its call sites."""
+
+    qualname: str
+    returns_sources: FrozenSet[str] = frozenset()
+    returns_params: FrozenSet[int] = frozenset()
+    param_sinks: Dict[int, Tuple[ParamSink, ...]] = field(default_factory=dict)
+    hits: Tuple[SinkHit, ...] = ()
+
+    def core(self):
+        """The part callers depend on; the fixpoint iterates until stable."""
+        return (
+            self.returns_sources,
+            self.returns_params,
+            tuple(sorted((k, v) for k, v in self.param_sinks.items())),
+        )
+
+
+class TaintPolicy:
+    """What a flow rule considers a source, a sink and a sanitizer.
+
+    Subclass and override; every hook defaults to "nothing".  ``call`` values
+    are lowered ``("call", func, args, kwargs)`` tuples; ``targets`` are the
+    dotted qualnames the call graph resolved them to (possibly empty).
+    """
+
+    def value_sources(self, value: tuple, fn: FunctionModel,
+                      module: ModuleModel) -> Set[str]:
+        """Labels inherent to reading ``value`` (e.g. a secret attribute)."""
+        return set()
+
+    def call_result_sources(self, call: tuple, targets: Sequence[str],
+                            constructed: Optional[str], fn: FunctionModel,
+                            module: ModuleModel) -> Set[str]:
+        """Labels born at this call (e.g. ``sealing_key_for(...)``)."""
+        return set()
+
+    def param_sources(self, fn: FunctionModel, param: str) -> Set[str]:
+        """Labels a parameter carries by convention (rarely needed)."""
+        return set()
+
+    def sinks_for_call(self, call: tuple, targets: Sequence[str],
+                       constructed: Optional[str], fn: FunctionModel,
+                       module: ModuleModel) -> List[Tuple[str, Optional[Sequence[int]]]]:
+        """Sinks at this call: ``(sink_name, arg indices or None for all)``.
+
+        Indices address positional args; kwargs are always included when
+        indices is None.
+        """
+        return []
+
+    def sink_for_store(self, base: tuple, attr: str, fn: FunctionModel,
+                       module: ModuleModel) -> Optional[str]:
+        """Sink name when storing into ``base.attr`` matters (or None)."""
+        return None
+
+    def is_sanitizer(self, call: tuple, targets: Sequence[str],
+                     fn: FunctionModel, module: ModuleModel) -> bool:
+        """True when the call's result must be considered clean."""
+        return False
+
+    def propagates_through_unknown_call(self, call: tuple,
+                                        targets: Sequence[str]) -> bool:
+        """Whether taint flows args -> result for unresolved callees."""
+        return True
+
+    def param_sink_applies(self, callee: str, sink: str, call: tuple,
+                           fn: FunctionModel, module: ModuleModel) -> bool:
+        """Whether a callee's parameter-reachable sink applies at this site.
+
+        Lets a policy model flow-sensitive guards the summary flattened —
+        e.g. ``repeat()`` only submits its task to a pool when ``workers``
+        is set, so callers without it are fine.
+        """
+        return True
+
+
+class _FunctionEvaluator:
+    """One pass over one function under one policy + current summaries."""
+
+    def __init__(self, fn: FunctionModel, callgraph, policy: TaintPolicy,
+                 summaries: Dict[str, FunctionSummary]):
+        self.fn = fn
+        self.module = fn.module
+        self.callgraph = callgraph
+        self.policy = policy
+        self.summaries = summaries
+        self.bindings = evaluate_bindings(fn)
+        self.env: Dict[str, FrozenSet] = {}
+        for index, param in enumerate(fn.params):
+            labels: Set = {("param", index)}
+            labels |= policy.param_sources(fn, param)
+            self.env[param] = frozenset(labels)
+        self.returns_sources: Set[str] = set()
+        self.returns_params: Set[int] = set()
+        self.param_sinks: Dict[int, Set[ParamSink]] = {}
+        self.hits: List[SinkHit] = []
+
+    # -- label computation ---------------------------------------------------
+
+    def taint(self, value: tuple) -> FrozenSet:
+        kind = value[0]
+        if kind in ("lambda", "localfunc", "localclass"):
+            # Function-valued descriptors carry no data taint, but a policy
+            # may consider the object itself a source (picklability rules).
+            return frozenset(self.policy.value_sources(value, self.fn, self.module))
+        if kind in ("const", "str", "unknown"):
+            return frozenset()
+        if kind == "name":
+            inherent = self.policy.value_sources(value, self.fn, self.module)
+            return self.env.get(value[1], frozenset()) | frozenset(inherent)
+        if kind == "attr":
+            inherent = self.policy.value_sources(value, self.fn, self.module)
+            return self.taint(value[1]) | frozenset(inherent)
+        if kind in ("sub", "elem"):
+            return self.taint(value[1])
+        if kind == "many":
+            out: FrozenSet = frozenset()
+            for child in value[1]:
+                out |= self.taint(child)
+            return out
+        if kind == "mut":
+            out = frozenset()
+            for child in value[2]:
+                out |= self.taint(child)
+            return out
+        if kind == "call":
+            return self._call_result_taint(value)
+        return frozenset()
+
+    def _resolve(self, call: tuple):
+        return self.callgraph.resolve_call(
+            self.module, self.fn, call, self.bindings
+        )
+
+    def _arg_taints(self, call: tuple) -> List[FrozenSet]:
+        return [self.taint(arg) for arg in call[2]]
+
+    def _summary_for(self, targets: Sequence[str]) -> Optional[FunctionSummary]:
+        for target in targets:
+            summary = self.summaries.get(target)
+            if summary is not None:
+                return summary
+        return None
+
+    def _call_result_taint(self, call: tuple) -> FrozenSet:
+        targets, constructed = self._resolve(call)
+        if self.policy.is_sanitizer(call, targets, self.fn, self.module):
+            return frozenset()
+        labels: Set = set(
+            self.policy.call_result_sources(
+                call, targets, constructed, self.fn, self.module
+            )
+        )
+        arg_taints = self._arg_taints(call)
+        kwarg_taints = [self.taint(v) for _name, v in call[3]]
+        summary = self._summary_for(targets)
+        if summary is not None:
+            labels |= summary.returns_sources
+            for index in summary.returns_params:
+                if index < len(arg_taints):
+                    labels |= arg_taints[index]
+        elif targets and all(t in _NON_PROPAGATING_BUILTINS for t in targets):
+            pass  # len()/isinstance()-style: result carries no taint
+        elif self.policy.propagates_through_unknown_call(call, targets):
+            for taint in arg_taints + kwarg_taints:
+                labels |= taint
+        return frozenset(labels)
+
+    # -- event processing ----------------------------------------------------
+
+    def run(self) -> FunctionSummary:
+        for event in self.fn.events:
+            kind = event[0]
+            if kind == "assign":
+                _k, name, value, _line = event
+                self.env[name] = self.taint(value)
+            elif kind == "sattr":
+                self._process_store(event)
+            elif kind == "def":
+                _k, name, nested_index = event
+                nested = self.fn.nested[nested_index]
+                descriptor = (
+                    "localfunc", nested.qualname, nested.has_free_vars,
+                    nested.lineno,
+                )
+                self.env[name] = frozenset(
+                    self.policy.value_sources(descriptor, self.fn, self.module)
+                )
+            elif kind == "call":
+                self._process_call_event(event)
+            elif kind == "ret":
+                labels = self.taint(event[1])
+                for label in labels:
+                    if isinstance(label, tuple) and label[0] == "param":
+                        self.returns_params.add(label[1])
+                    else:
+                        self.returns_sources.add(label)
+        return FunctionSummary(
+            qualname=self.fn.qualname,
+            returns_sources=frozenset(self.returns_sources),
+            returns_params=frozenset(self.returns_params),
+            param_sinks={
+                index: tuple(sorted(sinks))
+                for index, sinks in self.param_sinks.items()
+            },
+            hits=tuple(self.hits),
+        )
+
+    def _split(self, labels: FrozenSet):
+        real = frozenset(l for l in labels if isinstance(l, str))
+        params = [l[1] for l in labels if isinstance(l, tuple) and l[0] == "param"]
+        return real, params
+
+    def _record(self, sink: str, labels: FrozenSet, lineno: int, col: int,
+                via: Tuple[str, ...] = ()) -> None:
+        real, params = self._split(labels)
+        if real:
+            self.hits.append(
+                SinkHit(
+                    qualname=self.fn.qualname,
+                    path=self.module.path,
+                    scope_path=self.module.scope_path,
+                    lineno=lineno,
+                    col=col,
+                    sink=sink,
+                    labels=real,
+                    via=via,
+                )
+            )
+        for index in params:
+            self.param_sinks.setdefault(index, set()).add((sink, via))
+
+    def _process_store(self, event: tuple) -> None:
+        _tag, base, attr, value, lineno, col = event
+        sink = self.policy.sink_for_store(base, attr, self.fn, self.module)
+        if sink is None:
+            return
+        self._record(sink, self.taint(value), lineno, col)
+
+    def _process_call_event(self, event: tuple) -> None:
+        _tag, call, lineno, col = event
+        targets, constructed = self._resolve(call)
+        arg_taints = self._arg_taints(call)
+        kwarg_taints = [(name, self.taint(v)) for name, v in call[3]]
+
+        # Direct sinks declared by the policy at this call.
+        for sink, indices in self.policy.sinks_for_call(
+            call, targets, constructed, self.fn, self.module
+        ):
+            if indices is None:
+                combined: FrozenSet = frozenset()
+                for taint in arg_taints:
+                    combined |= taint
+                for _name, taint in kwarg_taints:
+                    combined |= taint
+                self._record(sink, combined, lineno, col)
+            else:
+                for index in indices:
+                    if index < len(arg_taints):
+                        self._record(sink, arg_taints[index], lineno, col)
+
+        # Sinks inside resolved callees, reached through their parameters.
+        summary = self._summary_for(targets)
+        if summary is not None:
+            for index, sinks in summary.param_sinks.items():
+                if index >= len(arg_taints):
+                    continue
+                for sink, via in sinks:
+                    if not self.policy.param_sink_applies(
+                        summary.qualname, sink, call, self.fn, self.module
+                    ):
+                        continue
+                    self._record(
+                        sink, arg_taints[index], lineno, col,
+                        via=(summary.qualname,) + via,
+                    )
+
+
+def evaluate_function(fn: FunctionModel, callgraph, policy: TaintPolicy,
+                      summaries: Dict[str, FunctionSummary]) -> FunctionSummary:
+    """One evaluation of ``fn`` under the current summary table."""
+    if fn.module is None:
+        return FunctionSummary(qualname=fn.qualname)
+    return _FunctionEvaluator(fn, callgraph, policy, summaries).run()

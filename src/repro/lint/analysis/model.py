@@ -1,0 +1,775 @@
+"""The project model: modules, symbols and a picklable mini-IR.
+
+Whole-program rules cannot carry raw ``ast`` trees around — trees are
+expensive to pickle (which the analysis cache and ``--jobs`` workers both
+need) and far more detailed than flow rules require.  Lowering happens once
+per file: every function body becomes a flat, ordered list of *events* over
+*value descriptors*, and every class records the facts the semantic rules
+ask about (``__init__``-assigned attributes and their mutability,
+``__getstate__`` / ``__setstate__`` behaviour).
+
+Value descriptors are nested tuples (hashable, picklable, cheap):
+
+=====================  ====================================================
+``("const", kind)``    literal of ``kind`` ("none", "bool", "num", ...)
+``("str", text)``      string literal (truncated to 120 chars)
+``("name", ident)``    a name read
+``("attr", base, a)``  attribute read ``base.a``
+``("call", f, args, kwargs)``  call; ``kwargs`` is ``((name|None, value), ...)``
+``("lambda", line, col)``      a lambda expression
+``("mut", kind, elems)``       container literal/comprehension; ``kind`` in
+                               list/dict/set/tuple/comp
+``("elem", base)``     an element drawn from iterable ``base``
+``("sub", base)``      subscript read ``base[...]``
+``("many", values)``   merge of several operands (binop, ternary, f-string)
+``("unknown",)``       anything deeper than the lowering cares about
+=====================  ====================================================
+
+Events (per function, in source order; nested ``def`` bodies get their own
+:class:`FunctionModel` and are *not* inlined):
+
+* ``("assign", name, value, lineno)``
+* ``("sattr", base_value, attr, value, lineno, col)`` — attribute store
+* ``("call", call_value, lineno, col)`` — every call expression
+* ``("ret", value, lineno)``
+* ``("def", name, nested_index)`` — a local ``def`` binding ``name``
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins as _builtins
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "AttrInit",
+    "ClassModel",
+    "FunctionModel",
+    "GetstateInfo",
+    "ModuleModel",
+    "ProjectModel",
+    "SetstateInfo",
+    "build_module_model",
+    "module_name_for",
+    "project_from_sources",
+]
+
+#: Bump when the lowering or model shape changes: invalidates cached models.
+MODEL_VERSION = 1
+
+_MAX_STR = 120
+_MAX_DEPTH = 8
+
+_MUTABLE_CTORS = frozenset(
+    {"list", "dict", "set", "bytearray", "Counter", "defaultdict",
+     "deque", "OrderedDict"}
+)
+_BUILTIN_NAMES = frozenset(dir(_builtins))
+
+
+def module_name_for(scope_path: str) -> str:
+    """Dotted module name for a scope path (``repro/sim/engine.py``)."""
+    trimmed = scope_path[:-3] if scope_path.endswith(".py") else scope_path
+    if trimmed.endswith("/__init__"):
+        trimmed = trimmed[: -len("/__init__")]
+    return trimmed.replace("/", ".")
+
+
+# -- expression lowering -----------------------------------------------------
+
+
+def _lower(node: Optional[ast.AST], depth: int = 0):
+    if node is None or depth > _MAX_DEPTH:
+        return ("unknown",)
+    if isinstance(node, ast.Constant):
+        value = node.value
+        if isinstance(value, str):
+            return ("str", value[:_MAX_STR])
+        if value is None:
+            return ("const", "none")
+        if isinstance(value, bool):
+            return ("const", "bool")
+        if isinstance(value, (int, float, complex)):
+            return ("const", "num")
+        if isinstance(value, bytes):
+            return ("const", "bytes")
+        return ("const", "other")
+    if isinstance(node, ast.Name):
+        return ("name", node.id)
+    if isinstance(node, ast.Attribute):
+        return ("attr", _lower(node.value, depth + 1), node.attr)
+    if isinstance(node, ast.Call):
+        args = tuple(_lower(arg, depth + 1) for arg in node.args)
+        kwargs = tuple(
+            (kw.arg, _lower(kw.value, depth + 1)) for kw in node.keywords
+        )
+        return ("call", _lower(node.func, depth + 1), args, kwargs)
+    if isinstance(node, ast.Lambda):
+        return ("lambda", node.lineno, node.col_offset)
+    if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        kind = type(node).__name__.lower()
+        elems = tuple(_lower(e, depth + 1) for e in node.elts[:8])
+        return ("mut", kind, elems)
+    if isinstance(node, ast.Dict):
+        elems = tuple(_lower(v, depth + 1) for v in node.values[:8])
+        return ("mut", "dict", elems)
+    if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+        parts: List[object] = []
+        if isinstance(node, ast.DictComp):
+            parts.append(_lower(node.value, depth + 1))
+        elif not isinstance(node, ast.GeneratorExp):
+            parts.append(_lower(node.elt, depth + 1))
+        else:
+            parts.append(_lower(node.elt, depth + 1))
+        parts.extend(("elem", _lower(g.iter, depth + 1)) for g in node.generators)
+        return ("mut", "comp", tuple(parts))
+    if isinstance(node, ast.Subscript):
+        return ("sub", _lower(node.value, depth + 1))
+    if isinstance(node, ast.Starred):
+        return _lower(node.value, depth + 1)
+    if isinstance(node, ast.BinOp):
+        return ("many", (_lower(node.left, depth + 1), _lower(node.right, depth + 1)))
+    if isinstance(node, ast.BoolOp):
+        return ("many", tuple(_lower(v, depth + 1) for v in node.values[:6]))
+    if isinstance(node, ast.IfExp):
+        return ("many", (_lower(node.body, depth + 1), _lower(node.orelse, depth + 1)))
+    if isinstance(node, ast.JoinedStr):
+        parts = tuple(
+            _lower(v.value, depth + 1)
+            for v in node.values
+            if isinstance(v, ast.FormattedValue)
+        )
+        return ("many", parts) if parts else ("const", "other")
+    if isinstance(node, ast.UnaryOp):
+        return _lower(node.operand, depth + 1)
+    if isinstance(node, ast.Await):
+        return _lower(node.value, depth + 1)
+    if isinstance(node, ast.NamedExpr):
+        return _lower(node.value, depth + 1)
+    if isinstance(node, ast.Compare):
+        return ("const", "bool")
+    return ("unknown",)
+
+
+# -- data classes ------------------------------------------------------------
+
+
+@dataclass
+class FunctionModel:
+    """One function/method/nested def, lowered to events."""
+
+    name: str
+    qualname: str
+    lineno: int
+    col: int
+    params: Tuple[str, ...]
+    events: Tuple[tuple, ...] = ()
+    decorators: Tuple[tuple, ...] = ()
+    nested: List["FunctionModel"] = field(default_factory=list)
+    is_nested: bool = False
+    has_free_vars: bool = False
+    class_name: Optional[str] = None
+    #: Filled in when the module joins a :class:`ProjectModel`.
+    module: Optional["ModuleModel"] = field(default=None, repr=False, compare=False)
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    def calls(self) -> Iterator[tuple]:
+        for event in self.events:
+            if event[0] == "call":
+                yield event
+
+
+@dataclass
+class AttrInit:
+    """One ``self.x = ...`` assignment inside ``__init__``."""
+
+    name: str
+    lineno: int
+    col: int
+    mutable: bool
+    value: tuple
+
+
+@dataclass
+class GetstateInfo:
+    """What ``__getstate__`` does to the instance dict."""
+
+    lineno: int
+    returns_dict_copy: bool = False
+    dropped: Tuple[str, ...] = ()      # del state["x"] / state.pop("x")
+    reset: Tuple[str, ...] = ()        # state["x"] = <literal>  (still present)
+    explicit_keys: Optional[Tuple[str, ...]] = None  # literal-dict return
+
+
+@dataclass
+class SetstateInfo:
+    """What ``__setstate__`` puts back."""
+
+    lineno: int
+    assigned_attrs: Tuple[str, ...] = ()
+    updates_dict: bool = False
+
+
+@dataclass
+class ClassModel:
+    """One class: methods, init attributes, pickle protocol facts."""
+
+    name: str
+    qualname: str
+    lineno: int
+    bases: Tuple[tuple, ...] = ()
+    methods: Dict[str, FunctionModel] = field(default_factory=dict)
+    init_attrs: Dict[str, AttrInit] = field(default_factory=dict)
+    getstate: Optional[GetstateInfo] = None
+    setstate: Optional[SetstateInfo] = None
+    has_slots: bool = False
+    is_dataclass: bool = False
+    is_nested: bool = False
+
+
+@dataclass
+class ModuleModel:
+    """One source file's contribution to the project model."""
+
+    module_name: str
+    path: str
+    scope_path: str
+    source_hash: str
+    imports: Dict[str, str] = field(default_factory=dict)       # alias -> module
+    from_imports: Dict[str, str] = field(default_factory=dict)  # alias -> dotted symbol
+    functions: Dict[str, FunctionModel] = field(default_factory=dict)
+    classes: Dict[str, ClassModel] = field(default_factory=dict)
+    module_names: Set[str] = field(default_factory=set)          # all top-level bindings
+    model_version: int = MODEL_VERSION
+
+    def all_functions(self) -> Iterator[FunctionModel]:
+        """Every function in the module, methods and nested defs included."""
+        stack: List[FunctionModel] = list(self.functions.values())
+        for cls in self.classes.values():
+            stack.extend(cls.methods.values())
+        while stack:
+            fn = stack.pop()
+            yield fn
+            stack.extend(fn.nested)
+
+
+# -- module lowering ---------------------------------------------------------
+
+
+class _FunctionLowerer:
+    """Lowers one function body into events, collecting nested defs."""
+
+    def __init__(self, qualname_prefix: str, class_name: Optional[str]):
+        self.prefix = qualname_prefix
+        self.class_name = class_name
+
+    def lower(self, node, is_nested: bool = False) -> FunctionModel:
+        params = tuple(
+            arg.arg
+            for arg in (
+                list(node.args.posonlyargs)
+                + list(node.args.args)
+                + list(node.args.kwonlyargs)
+            )
+        )
+        fn = FunctionModel(
+            name=node.name,
+            qualname=f"{self.prefix}.{node.name}",
+            lineno=node.lineno,
+            col=node.col_offset,
+            params=params,
+            decorators=tuple(_lower(d) for d in node.decorator_list),
+            is_nested=is_nested,
+            class_name=self.class_name,
+        )
+        events: List[tuple] = []
+        assigned: Set[str] = set(params)
+        loaded: Set[str] = set()
+        for stmt in node.body:
+            self._lower_stmt(stmt, fn, events, assigned, loaded)
+        fn.events = tuple(events)
+        free = loaded - assigned - _BUILTIN_NAMES
+        fn.has_free_vars = bool(free) and is_nested
+        return fn
+
+    # Every statement contributes its calls (in source order) and, where the
+    # dataflow core can use them, assignments/returns.
+
+    def _emit_calls(self, node: ast.AST, events: List[tuple]) -> None:
+        for call in _walk_same_scope(node):
+            if isinstance(call, ast.Call):
+                events.append(("call", _lower(call), call.lineno, call.col_offset))
+
+    def _note_loads(self, node: ast.AST, loaded: Set[str]) -> None:
+        for child in _walk_same_scope(node):
+            if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+                loaded.add(child.id)
+
+    def _lower_stmt(self, stmt, fn, events, assigned, loaded) -> None:
+        self._note_loads(stmt, loaded)
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested_lowerer = _FunctionLowerer(fn.qualname, None)
+            nested = nested_lowerer.lower(stmt, is_nested=True)
+            fn.nested.append(nested)
+            events.append(("def", stmt.name, len(fn.nested) - 1))
+            assigned.add(stmt.name)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            assigned.add(stmt.name)
+            events.append(("assign", stmt.name, ("localclass", stmt.name), stmt.lineno))
+            return
+        self._emit_calls(stmt, events)
+        if isinstance(stmt, ast.Assign):
+            value = _lower(stmt.value)
+            for target in stmt.targets:
+                self._lower_target(target, value, stmt, events, assigned)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._lower_target(stmt.target, _lower(stmt.value), stmt, events, assigned)
+        elif isinstance(stmt, ast.AugAssign):
+            value = ("many", (_lower(stmt.target), _lower(stmt.value)))
+            self._lower_target(stmt.target, value, stmt, events, assigned)
+        elif isinstance(stmt, ast.Return):
+            events.append(("ret", _lower(stmt.value), stmt.lineno))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            element = ("elem", _lower(stmt.iter))
+            self._lower_target(stmt.target, element, stmt, events, assigned)
+            for child in stmt.body + stmt.orelse:
+                self._lower_stmt(child, fn, events, assigned, loaded)
+            return
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    self._lower_target(
+                        item.optional_vars, _lower(item.context_expr), stmt,
+                        events, assigned,
+                    )
+            for child in stmt.body:
+                self._lower_stmt(child, fn, events, assigned, loaded)
+            return
+        elif isinstance(stmt, ast.If):
+            for child in stmt.body + stmt.orelse:
+                self._lower_stmt(child, fn, events, assigned, loaded)
+            return
+        elif isinstance(stmt, (ast.While,)):
+            for child in stmt.body + stmt.orelse:
+                self._lower_stmt(child, fn, events, assigned, loaded)
+            return
+        elif isinstance(stmt, ast.Try):
+            children = list(stmt.body)
+            for handler in stmt.handlers:
+                children.extend(handler.body)
+            children.extend(stmt.orelse)
+            children.extend(stmt.finalbody)
+            for child in children:
+                self._lower_stmt(child, fn, events, assigned, loaded)
+            return
+
+    def _lower_target(self, target, value, stmt, events, assigned) -> None:
+        if isinstance(target, ast.Name):
+            assigned.add(target.id)
+            events.append(("assign", target.id, value, stmt.lineno))
+        elif isinstance(target, ast.Attribute):
+            events.append(
+                ("sattr", _lower(target.value), target.attr, value,
+                 stmt.lineno, stmt.col_offset)
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._lower_target(element, ("elem", value), stmt, events, assigned)
+
+
+def _walk_same_scope(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class bodies."""
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+# -- pickle-protocol analysis ------------------------------------------------
+
+
+def _analyze_getstate(node) -> GetstateInfo:
+    info = GetstateInfo(lineno=node.lineno)
+    dropped: List[str] = []
+    reset: List[str] = []
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                key = _subscript_str_key(target)
+                if key is not None:
+                    dropped.append(key)
+        elif isinstance(stmt, ast.Call):
+            func = stmt.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "pop"
+                and stmt.args
+                and isinstance(stmt.args[0], ast.Constant)
+                and isinstance(stmt.args[0].value, str)
+            ):
+                dropped.append(stmt.args[0].value)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                key = _subscript_str_key(target)
+                if key is not None:
+                    reset.append(key)
+        elif isinstance(stmt, ast.Return):
+            value = stmt.value
+            if isinstance(value, ast.Dict):
+                keys = []
+                literal = True
+                for key in value.keys:
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.append(key.value)
+                    else:
+                        literal = False
+                if literal:
+                    info.explicit_keys = tuple(keys)
+            else:
+                for sub in ast.walk(value) if value is not None else ():
+                    if (
+                        isinstance(sub, ast.Attribute)
+                        and sub.attr == "__dict__"
+                    ) or (
+                        isinstance(sub, ast.Name) and sub.id == "state"
+                    ):
+                        info.returns_dict_copy = True
+                        break
+    info.dropped = tuple(dict.fromkeys(dropped))
+    info.reset = tuple(dict.fromkeys(reset))
+    return info
+
+
+def _subscript_str_key(node: ast.AST) -> Optional[str]:
+    if not isinstance(node, ast.Subscript):
+        return None
+    index = node.slice
+    if isinstance(index, ast.Constant) and isinstance(index.value, str):
+        return index.value
+    return None
+
+
+def _analyze_setstate(node) -> SetstateInfo:
+    info = SetstateInfo(lineno=node.lineno)
+    attrs: List[str] = []
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.append(target.attr)
+        elif isinstance(stmt, ast.Call):
+            func = stmt.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "update"
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr == "__dict__"
+            ):
+                info.updates_dict = True
+    info.assigned_attrs = tuple(dict.fromkeys(attrs))
+    return info
+
+
+def _mutable_value(value: tuple) -> bool:
+    kind = value[0]
+    if kind == "mut":
+        return value[1] in ("list", "dict", "set", "comp")
+    if kind == "call":
+        func = value[1]
+        if func[0] == "name" and func[1] in _MUTABLE_CTORS:
+            return True
+        if func[0] == "attr" and func[2] in _MUTABLE_CTORS:
+            return True
+    return False
+
+
+# -- class / module builders -------------------------------------------------
+
+
+def _build_class(node: ast.ClassDef, module_name: str,
+                 nested: bool = False) -> ClassModel:
+    cls = ClassModel(
+        name=node.name,
+        qualname=f"{module_name}.{node.name}",
+        lineno=node.lineno,
+        bases=tuple(_lower(base) for base in node.bases),
+        is_nested=nested,
+    )
+    for decorator in node.decorator_list:
+        lowered = _lower(decorator)
+        flat = lowered[1] if lowered[0] == "call" else lowered
+        if (flat[0] == "name" and flat[1] == "dataclass") or (
+            flat[0] == "attr" and flat[2] == "dataclass"
+        ):
+            cls.is_dataclass = True
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            lowerer = _FunctionLowerer(cls.qualname, node.name)
+            method = lowerer.lower(stmt)
+            cls.methods[stmt.name] = method
+            if stmt.name == "__getstate__":
+                cls.getstate = _analyze_getstate(stmt)
+            elif stmt.name == "__setstate__":
+                cls.setstate = _analyze_setstate(stmt)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    cls.has_slots = True
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.target.id == "__slots__":
+                cls.has_slots = True
+            elif cls.is_dataclass:
+                # Dataclass fields are init attributes in all but syntax.
+                value = _lower(stmt.value) if stmt.value is not None else ("unknown",)
+                cls.init_attrs[stmt.target.id] = AttrInit(
+                    name=stmt.target.id,
+                    lineno=stmt.lineno,
+                    col=stmt.col_offset,
+                    mutable=_mutable_value(value),
+                    value=value,
+                )
+    init = cls.methods.get("__init__")
+    if init is not None:
+        for event in init.events:
+            if event[0] != "sattr":
+                continue
+            _tag, base, attr, value, lineno, col = event
+            if base == ("name", "self") and attr not in cls.init_attrs:
+                cls.init_attrs[attr] = AttrInit(
+                    name=attr, lineno=lineno, col=col,
+                    mutable=_mutable_value(value), value=value,
+                )
+    return cls
+
+
+def build_module_model(source: str, path: str, scope_path: str,
+                       tree: Optional[ast.Module] = None) -> ModuleModel:
+    """Lower one parsed file into its :class:`ModuleModel`."""
+    if tree is None:
+        tree = ast.parse(source, filename=path)
+    module_name = module_name_for(scope_path)
+    model = ModuleModel(
+        module_name=module_name,
+        path=path,
+        scope_path=scope_path,
+        source_hash=hashlib.sha256(source.encode("utf-8")).hexdigest(),
+    )
+    package = module_name.rsplit(".", 1)[0] if "." in module_name else ""
+    for node in tree.body:
+        _collect_top_level(node, model, module_name, package)
+    return model
+
+
+def _collect_top_level(node, model: ModuleModel, module_name: str,
+                       package: str) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            model.imports[bound] = alias.name if alias.asname else alias.name.split(".")[0]
+            if alias.asname is None and "." in alias.name:
+                # `import repro.sgx.enclave` binds `repro`; remember the full
+                # dotted path too so attribute chains resolve.
+                model.imports.setdefault(alias.name, alias.name)
+            model.module_names.add(bound)
+    elif isinstance(node, ast.ImportFrom):
+        base = node.module or ""
+        if node.level:
+            # Relative import: resolve against this module's package.
+            parts = module_name.split(".")
+            anchor = parts[: len(parts) - node.level] if len(parts) >= node.level else []
+            base = ".".join(anchor + ([base] if base else []))
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            bound = alias.asname or alias.name
+            model.from_imports[bound] = f"{base}.{alias.name}" if base else alias.name
+            model.module_names.add(bound)
+    elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        lowerer = _FunctionLowerer(module_name, None)
+        model.functions[node.name] = lowerer.lower(node)
+        model.module_names.add(node.name)
+    elif isinstance(node, ast.ClassDef):
+        model.classes[node.name] = _build_class(node, module_name)
+        model.module_names.add(node.name)
+    elif isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                model.module_names.add(target.id)
+    elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+        model.module_names.add(node.target.id)
+    elif isinstance(node, (ast.If, ast.Try)):
+        bodies = []
+        if isinstance(node, ast.If):
+            bodies = node.body + node.orelse
+        else:
+            bodies = list(node.body)
+            for handler in node.handlers:
+                bodies.extend(handler.body)
+            bodies += node.orelse + node.finalbody
+        for child in bodies:
+            _collect_top_level(child, model, module_name, package)
+
+
+# -- the whole-program model -------------------------------------------------
+
+
+class ProjectModel:
+    """Symbol table + import graph over a set of :class:`ModuleModel`."""
+
+    def __init__(self, modules: Sequence[ModuleModel]):
+        self.modules: Dict[str, ModuleModel] = {}
+        for module in modules:
+            self.modules[module.module_name] = module
+            for fn in module.all_functions():
+                fn.module = module
+        self.by_scope_path: Dict[str, ModuleModel] = {
+            module.scope_path: module for module in self.modules.values()
+        }
+        self._functions: Dict[str, FunctionModel] = {}
+        self._classes: Dict[str, ClassModel] = {}
+        for module in self.modules.values():
+            for fn in module.all_functions():
+                self._functions[fn.qualname] = fn
+            for cls in module.classes.values():
+                self._classes[cls.qualname] = cls
+
+    # -- lookups -----------------------------------------------------------
+
+    def function(self, qualname: str) -> Optional[FunctionModel]:
+        return self._functions.get(qualname)
+
+    def class_model(self, qualname: str) -> Optional[ClassModel]:
+        return self._classes.get(qualname)
+
+    def all_functions(self) -> Iterator[FunctionModel]:
+        return iter(self._functions.values())
+
+    def all_classes(self) -> Iterator[ClassModel]:
+        return iter(self._classes.values())
+
+    # -- name resolution ----------------------------------------------------
+
+    def resolve_name(self, module: ModuleModel, name: str) -> Optional[str]:
+        """Dotted target a bare name refers to in ``module``, if known."""
+        if name in module.from_imports:
+            return module.from_imports[name]
+        if name in module.imports:
+            return module.imports[name]
+        if name in module.functions or name in module.classes:
+            return f"{module.module_name}.{name}"
+        if name in _BUILTIN_NAMES and name not in module.module_names:
+            return f"builtins.{name}"
+        return None
+
+    def resolve_value(self, module: ModuleModel, value: tuple) -> Optional[str]:
+        """Best-effort dotted name for a value descriptor."""
+        if value[0] == "name":
+            return self.resolve_name(module, value[1])
+        if value[0] == "attr":
+            base = self.resolve_value(module, value[1])
+            if base is None:
+                return None
+            return f"{base}.{value[2]}"
+        return None
+
+    def resolve_class(self, module: ModuleModel, value: tuple) -> Optional[ClassModel]:
+        dotted = self.resolve_value(module, value)
+        if dotted is None:
+            return None
+        resolved = self._resolve_reexport(dotted)
+        return self._classes.get(resolved)
+
+    def _resolve_reexport(self, dotted: str) -> str:
+        """Follow one level of ``from x import y`` re-export chains."""
+        seen = set()
+        current = dotted
+        while current not in seen:
+            seen.add(current)
+            if current in self._functions or current in self._classes:
+                return current
+            if "." not in current:
+                return current
+            owner, symbol = current.rsplit(".", 1)
+            owner_module = self.modules.get(owner)
+            if owner_module is None or symbol not in owner_module.from_imports:
+                return current
+            current = owner_module.from_imports[symbol]
+        return current
+
+    def find_method(self, cls: ClassModel, name: str,
+                    _depth: int = 0) -> Optional[FunctionModel]:
+        """Method lookup through the recorded base-class chain."""
+        if name in cls.methods:
+            return cls.methods[name]
+        if _depth > 6:
+            return None
+        module = self.modules.get(cls.qualname.rsplit(".", 1)[0])
+        if module is None:
+            return None
+        for base_value in cls.bases:
+            base_cls = self.resolve_class(module, base_value)
+            if base_cls is not None:
+                found = self.find_method(base_cls, name, _depth + 1)
+                if found is not None:
+                    return found
+        return None
+
+    # -- import graph -------------------------------------------------------
+
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """Module -> imported project modules (symbols mapped to their module)."""
+        graph: Dict[str, Set[str]] = {}
+        for name, module in self.modules.items():
+            edges: Set[str] = set()
+            for target in module.imports.values():
+                edges.update(self._project_module_of(target))
+            for target in module.from_imports.values():
+                edges.update(self._project_module_of(target))
+            graph[name] = edges - {name}
+        return graph
+
+    def _project_module_of(self, dotted: str) -> Set[str]:
+        if dotted in self.modules:
+            return {dotted}
+        if "." in dotted:
+            owner = dotted.rsplit(".", 1)[0]
+            if owner in self.modules:
+                return {owner}
+        return set()
+
+    def import_closure(self, roots: Sequence[str]) -> Set[str]:
+        """Project modules transitively imported from ``roots``."""
+        graph = self.import_graph()
+        seen: Set[str] = set()
+        stack = [root for root in roots if root in self.modules]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(graph.get(current, ()) - seen)
+        return seen
+
+
+def project_from_sources(sources: Dict[str, str]) -> ProjectModel:
+    """Build a project model from ``{scope_path: source}`` (test helper)."""
+    modules = [
+        build_module_model(source, path=scope_path, scope_path=scope_path)
+        for scope_path, source in sorted(sources.items())
+    ]
+    return ProjectModel(modules)

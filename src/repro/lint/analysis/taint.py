@@ -1,0 +1,67 @@
+"""Interprocedural taint: function summaries run to a fixpoint.
+
+Each pass re-evaluates every function under the current summary table
+(:func:`repro.lint.analysis.dataflow.evaluate_function`); a function's
+summary changes when a callee's summary taught it something new — a
+tainted return, or a parameter that reaches a sink deeper in the call
+graph.  Summaries only grow, and the label/parameter sets are finite, so
+the iteration terminates; the bound is a safety net, not the common case
+(this codebase converges in 2–3 passes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lint.analysis.dataflow import (
+    FunctionSummary,
+    SinkHit,
+    TaintPolicy,
+    evaluate_function,
+)
+from repro.lint.analysis.model import ProjectModel
+
+__all__ = ["TaintAnalysis", "SinkHit"]
+
+_MAX_PASSES = 8
+
+
+class TaintAnalysis:
+    """Run one policy over the whole project and collect sink hits."""
+
+    def __init__(self, project: ProjectModel, callgraph, policy: TaintPolicy):
+        self.project = project
+        self.callgraph = callgraph
+        self.policy = policy
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self.passes = 0
+
+    def run(self) -> List[SinkHit]:
+        functions = sorted(self.project.all_functions(), key=lambda f: f.qualname)
+        for _ in range(_MAX_PASSES):
+            self.passes += 1
+            changed = False
+            for fn in functions:
+                new = evaluate_function(fn, self.callgraph, self.policy, self.summaries)
+                old = self.summaries.get(fn.qualname)
+                if old is None or old.core() != new.core():
+                    changed = True
+                self.summaries[fn.qualname] = new
+            if not changed:
+                break
+        seen = set()
+        hits: List[SinkHit] = []
+        for fn in functions:
+            summary = self.summaries.get(fn.qualname)
+            if summary is None:
+                continue
+            for hit in summary.hits:
+                key = (hit.path, hit.lineno, hit.col, hit.sink, hit.labels)
+                if key not in seen:
+                    seen.add(key)
+                    hits.append(hit)
+        hits.sort(key=lambda h: (h.path, h.lineno, h.col, h.sink))
+        return hits
+
+    def summary(self, qualname: str) -> Optional[FunctionSummary]:
+        return self.summaries.get(qualname)

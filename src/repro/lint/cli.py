@@ -3,6 +3,9 @@
 Exit codes: 0 = clean, 1 = findings at or above ``--fail-on`` severity,
 2 = usage error.
 """
+# lint: disable-file=purity-print -- this is the CLI entry point: printing
+# reports/usage errors to the terminal is its entire purpose, like
+# snapshot's __main__.
 
 from __future__ import annotations
 
@@ -11,12 +14,15 @@ import os
 import sys
 from typing import List, Optional
 
+import dataclasses
+
 from repro.lint.config import LintConfig, load_config
 from repro.lint.core import LintRunner, Severity, registered_rules
 from repro.lint.reporter import (
     apply_baseline,
     load_baseline,
     render_json,
+    render_sarif,
     render_text,
     write_baseline,
 )
@@ -34,8 +40,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: [tool.repro-lint].paths)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output", dest="format_alias", choices=("text", "json", "sarif"),
+        default=None,
+        help="alias for --format",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="parse/lint files with N worker processes (default: 1)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash analysis cache for this run",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="analysis cache directory (default: [tool.repro-lint].cache-dir "
+             "or .repro-lint-cache next to pyproject.toml)",
+    )
+    parser.add_argument(
+        "--graph", nargs="?", const="", default=None, metavar="PREFIX",
+        help="print the project call graph (optionally filtered to "
+             "qualnames starting with PREFIX) and exit",
     )
     parser.add_argument(
         "--config", default=None,
@@ -105,21 +134,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     if args.select:
-        config = LintConfig(
-            paths=config.paths,
-            disable=config.disable,
+        config = dataclasses.replace(
+            config,
             enable_only=tuple(r.strip() for r in args.select.split(",") if r.strip()),
-            exclude=config.exclude,
-            scopes=config.scopes,
         )
     if args.disable:
-        config = LintConfig(
-            paths=config.paths,
+        config = dataclasses.replace(
+            config,
             disable=config.disable
             + tuple(r.strip() for r in args.disable.split(",") if r.strip()),
-            enable_only=config.enable_only,
-            exclude=config.exclude,
-            scopes=config.scopes,
         )
 
     paths = args.paths or list(config.paths)
@@ -131,7 +154,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         return 2
 
-    runner = LintRunner(config=config)
+    cache = None
+    if not args.no_cache:
+        from repro.lint.analysis.cache import AnalysisCache
+
+        cache = AnalysisCache(config.resolved_cache_dir(args.cache_dir))
+
+    runner = LintRunner(config=config, cache=cache, jobs=args.jobs)
+
+    if args.graph is not None:
+        from repro.lint.analysis.callgraph import CallGraph
+
+        project = runner.build_project(paths)
+        print(CallGraph.for_project(project).dump(args.graph))
+        return 0
+
     findings = runner.lint_paths(paths)
 
     if args.write_baseline:
@@ -149,7 +186,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         findings = apply_baseline(findings, baseline)
 
-    print(render_json(findings) if args.format == "json" else render_text(findings))
+    report_format = args.format_alias or args.format
+    if report_format == "json":
+        print(render_json(findings))
+    elif report_format == "sarif":
+        print(render_sarif(findings, rules=runner.rules))
+    else:
+        print(render_text(findings))
 
     threshold = Severity.from_name(args.fail_on)
     return 1 if any(f.severity >= threshold for f in findings) else 0

@@ -17,6 +17,7 @@ from repro.lint.core import Finding, Severity
 __all__ = [
     "render_text",
     "render_json",
+    "render_sarif",
     "write_baseline",
     "load_baseline",
     "apply_baseline",
@@ -43,6 +44,78 @@ def render_json(findings: Sequence[Finding]) -> str:
         "count": len(findings),
     }
     return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_LEVELS = {
+    Severity.NOTE: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def render_sarif(findings: Sequence[Finding], rules: Sequence = ()) -> str:
+    """SARIF 2.1.0 report (one run), for code-scanning upload in CI.
+
+    ``rules`` is the battery the run used; its metadata populates the tool
+    driver so viewers can show descriptions next to results.
+    """
+    rule_meta = [
+        {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.description},
+            "fullDescription": {"text": rule.rationale or rule.description},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[rule.severity]},
+        }
+        for rule in sorted(rules, key=lambda r: r.rule_id)
+    ]
+    rule_index = {meta["id"]: index for index, meta in enumerate(rule_meta)}
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule_id,
+            "level": _SARIF_LEVELS[finding.severity],
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "reproLint/v1": "/".join(finding.fingerprint()),
+            },
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+    document = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rule_meta,
+                    }
+                },
+                "results": results,
+                "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
 
 
 def write_baseline(findings: Iterable[Finding], path: str) -> None:

@@ -1,0 +1,117 @@
+"""Shared scaffolding for the whole-program flow rules.
+
+Each flow family is a :class:`~repro.lint.core.ProjectRule` wrapping one
+:class:`~repro.lint.analysis.dataflow.TaintPolicy`: the rule builds (or
+reuses) the project call graph, runs the interprocedural taint engine and
+turns surviving sink hits into findings.  Everything family-specific —
+sources, sinks, sanitizers, message wording — lives in the policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.lint.analysis.callgraph import CallGraph
+from repro.lint.analysis.dataflow import SinkHit, TaintPolicy, evaluate_bindings
+from repro.lint.analysis.model import FunctionModel, ModuleModel, ProjectModel
+from repro.lint.analysis.taint import TaintAnalysis
+from repro.lint.core import Finding, ProjectRule
+
+__all__ = ["FlowRule", "dotted_target", "receiver_ident", "constructor_binding"]
+
+
+def dotted_target(project: ProjectModel, module: ModuleModel,
+                  call: tuple) -> Optional[str]:
+    """The dotted name a call's callee resolves to, project or stdlib.
+
+    Unlike the call graph (which only keeps edges to project functions and
+    builtins), this also names stdlib callees — ``random.Random``,
+    ``time.time`` — which is exactly what source/sink matching needs.
+    """
+    func = call[1]
+    if func[0] == "name":
+        return project.resolve_name(module, func[1])
+    if func[0] == "attr":
+        return project.resolve_value(module, func)
+    return None
+
+
+def receiver_ident(func: tuple) -> Optional[str]:
+    """Last identifier of an attribute call's receiver.
+
+    ``net.request(...)`` -> ``net``; ``self._network.request(...)`` ->
+    ``_network``.  Name heuristics fall back on this when the receiver's
+    type cannot be resolved.
+    """
+    if func[0] != "attr":
+        return None
+    base = func[1]
+    if base[0] == "name":
+        return base[1]
+    if base[0] == "attr":
+        return base[2]
+    return None
+
+
+def constructor_binding(project: ProjectModel, module: ModuleModel,
+                        fn: FunctionModel, bindings: Dict[str, tuple],
+                        func: tuple) -> Optional[str]:
+    """Dotted class a method call's receiver was constructed from, if known.
+
+    Handles ``pool = ProcessPoolExecutor(...)`` / ``with ... as pool:``
+    followed by ``pool.submit(...)`` — including stdlib classes the call
+    graph itself cannot type.
+    """
+    if func[0] != "attr" or func[1][0] != "name":
+        return None
+    bound = bindings.get(func[1][1])
+    if bound is None or bound[0] != "call":
+        return None
+    ctor = bound[1]
+    if ctor[0] == "name":
+        return project.resolve_name(module, ctor[1])
+    if ctor[0] == "attr":
+        return project.resolve_value(module, ctor)
+    return None
+
+
+class FlowRule(ProjectRule):
+    """Run one taint policy over the project and report its sink hits."""
+
+    def make_policy(self, project: ProjectModel) -> TaintPolicy:
+        raise NotImplementedError
+
+    def describe_hit(self, hit: SinkHit) -> str:
+        labels = ", ".join(sorted(hit.labels))
+        message = f"{labels} reaches {hit.sink}"
+        if hit.via:
+            message += f" (via {' -> '.join(hit.via)})"
+        return message
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        callgraph = CallGraph.for_project(project)
+        analysis = TaintAnalysis(project, callgraph, self.make_policy(project))
+        for hit in analysis.run():
+            if not self.scope_allows(hit.scope_path):
+                continue
+            yield self.finding_at(
+                hit.path, hit.lineno, hit.col, self.describe_hit(hit)
+            )
+
+
+class BindingAwarePolicy(TaintPolicy):
+    """A policy with memoised per-function name bindings."""
+
+    def __init__(self, project: ProjectModel):
+        self.project = project
+        self._bindings: Dict[int, Dict[str, tuple]] = {}
+
+    def bindings_for(self, fn: FunctionModel) -> Dict[str, tuple]:
+        cached = self._bindings.get(id(fn))
+        if cached is None:
+            cached = evaluate_bindings(fn)
+            self._bindings[id(fn)] = cached
+        return cached
+
+    def dotted(self, module: ModuleModel, call: tuple) -> Optional[str]:
+        return dotted_target(self.project, module, call)

@@ -98,7 +98,6 @@ class DigestCompareRule(Rule):
     )
     severity = Severity.ERROR
     scope = ("repro",)
-    exempt = ("repro/lint",)
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         for node in ast.walk(module.tree):

@@ -60,7 +60,6 @@ class GlobalRandomRule(Rule):
     )
     severity = Severity.ERROR
     scope = ("repro",)
-    exempt = ("repro/lint",)
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
         aliases = module.import_aliases("random")
@@ -101,7 +100,6 @@ class WallClockRule(Rule):
     )
     severity = Severity.ERROR
     scope = ("repro",)
-    exempt = ("repro/lint",)
 
     _TIME_FUNCS = frozenset(
         {

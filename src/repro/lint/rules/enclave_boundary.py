@@ -28,7 +28,6 @@ __all__ = [
 TRUSTED_PATHS: Tuple[str, ...] = (
     "repro/sgx",
     "repro/core/enclave.py",
-    "repro/lint",
     "tests",
 )
 

@@ -1,0 +1,173 @@
+"""Pool safety: only picklable work may enter a process pool or seed store.
+
+PR 5's PollutionProbe bug — a nested class handed to ``repeat(...,
+workers=N)`` — crashed only when a run actually used a pool, which CI's
+small configs never did.  This family catches the whole shape statically:
+lambdas, closures, local functions/classes and handle-holding objects that
+flow (possibly through helpers) into ``repeat()`` with ``workers``, a
+``ProcessPoolExecutor.submit/map`` call, or a ``SeedResultStore`` record.
+
+``repeat()`` without ``workers`` runs serially and pickles nothing, so
+serial callers may pass lambdas freely — the guard is flow-aware both for
+direct calls and through function summaries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.lint.analysis.model import FunctionModel, ModuleModel, ProjectModel
+from repro.lint.core import Severity, register_rule
+from repro.lint.rules._flow import (
+    BindingAwarePolicy,
+    FlowRule,
+    constructor_binding,
+)
+
+__all__ = ["UnpicklableTaskFlowRule"]
+
+_POOL_CLASSES = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+    "multiprocessing.Pool",
+})
+
+#: Constructor calls whose instances hold OS handles (unpicklable).
+_HANDLE_CTORS = frozenset({
+    "builtins.open", "io.open", "threading.Lock", "threading.RLock",
+    "threading.Event", "threading.Condition", "threading.Thread",
+    "socket.socket", "tempfile.NamedTemporaryFile", "sqlite3.connect",
+})
+
+#: Containers/combinators that preserve element picklability facts.
+_TRANSPARENT = frozenset({
+    "builtins.sorted", "builtins.list", "builtins.tuple", "builtins.set",
+    "builtins.min", "builtins.max", "builtins.reversed", "builtins.sum",
+})
+
+
+def _has_workers(call: tuple) -> bool:
+    """True when a ``repeat(...)`` call can reach the process pool."""
+    if len(call[2]) >= 3:          # repeat(fn, seeds, workers, ...)
+        third = call[2][2]
+        return third != ("const", "none")
+    for name, value in call[3]:
+        if name == "workers":
+            return value != ("const", "none")
+    return False
+
+
+def _is_repeat(dotted: Optional[str], targets: Sequence[str]) -> bool:
+    full = "repro.experiments.runner.repeat"
+    return dotted == full or full in targets
+
+
+class _PoolSafetyPolicy(BindingAwarePolicy):
+    def value_sources(self, value: tuple, fn: FunctionModel,
+                      module: ModuleModel) -> Set[str]:
+        kind = value[0]
+        if kind == "lambda":
+            return {"a lambda"}
+        if kind == "localfunc":
+            # Local defs never pickle (no importable qualname); ones with
+            # free variables are closures over live state on top of that.
+            return {"a closure" if value[2] else "a local function"}
+        if kind == "localclass":
+            return {"a local class"}
+        return set()
+
+    def call_result_sources(self, call: tuple, targets: Sequence[str],
+                            constructed: Optional[str], fn: FunctionModel,
+                            module: ModuleModel) -> Set[str]:
+        dotted = self.dotted(module, call)
+        if dotted in _HANDLE_CTORS:
+            return {f"an OS-handle object ({dotted.rsplit('.', 1)[1]}())"}
+        func = call[1]
+        if func[0] == "name":
+            # Constructing a class defined inside this very function — the
+            # exact shape of the PR 5 PollutionProbe bug.
+            bound = self.bindings_for(fn).get(func[1])
+            if bound is not None and bound[0] == "localclass":
+                return {f"an instance of local class {bound[1]}"}
+        if constructed is not None:
+            cls = self.project.class_model(constructed)
+            if cls is not None:
+                if cls.is_nested:
+                    return {f"an instance of local class {cls.name}"}
+                if cls.getstate is None:
+                    # Resolve the stored constructor in the class's own
+                    # module: that is where its imports live.
+                    owner_name = cls.qualname.rsplit(".", 1)[0]
+                    owner = self.project.modules.get(owner_name, module)
+                    for attr in cls.init_attrs.values():
+                        if attr.value[0] != "call":
+                            continue
+                        ctor = self.dotted(owner, attr.value)
+                        if ctor in _HANDLE_CTORS:
+                            return {
+                                f"an instance of {cls.name} "
+                                f"(holds {ctor.rsplit('.', 1)[1]}() in "
+                                f"self.{attr.name}, no __getstate__)"
+                            }
+        return set()
+
+    def is_sanitizer(self, call: tuple, targets: Sequence[str],
+                     fn: FunctionModel, module: ModuleModel) -> bool:
+        return False
+
+    def propagates_through_unknown_call(self, call: tuple,
+                                        targets: Sequence[str]) -> bool:
+        # functools.partial(lambda, ...) stays unpicklable; keep default.
+        return True
+
+    def _pool_receiver(self, fn: FunctionModel, module: ModuleModel,
+                       func: tuple) -> bool:
+        ctor = constructor_binding(
+            self.project, module, fn, self.bindings_for(fn), func
+        )
+        return ctor in _POOL_CLASSES
+
+    def sinks_for_call(self, call, targets, constructed, fn, module):
+        sinks: List = []
+        dotted = self.dotted(module, call)
+        func = call[1]
+        if _is_repeat(dotted, targets) and _has_workers(call):
+            sinks.append(("repeat() with a process pool", None))
+        if func[0] == "attr" and func[2] in ("submit", "map") and \
+                self._pool_receiver(fn, module, func):
+            sinks.append((f"ProcessPoolExecutor.{func[2]}()", None))
+        if func[0] == "attr" and func[2] == "record" and (
+            any(".SeedResultStore." in t for t in targets)
+            or constructor_binding(
+                self.project, module, fn, self.bindings_for(fn), func
+            ) == "repro.snapshot.seedstore.SeedResultStore"
+        ):
+            sinks.append(("a SeedResultStore checkpoint", None))
+        return sinks
+
+    def param_sink_applies(self, callee: str, sink: str, call: tuple,
+                           fn: FunctionModel, module: ModuleModel) -> bool:
+        # repeat() only touches the pool when workers is set; a serial
+        # caller passing a lambda is fine even though the pool sink is
+        # reachable from repeat's first parameter.
+        if callee == "repro.experiments.runner.repeat":
+            return _has_workers(call)
+        return True
+
+
+@register_rule
+class UnpicklableTaskFlowRule(FlowRule):
+    """Unpicklable callables/objects reaching process-pool submission."""
+
+    rule_id = "flow-unpicklable-task"
+    description = "unpicklable task or payload reaches a process pool or checkpoint"
+    severity = Severity.ERROR
+    rationale = (
+        "Pool submission pickles by importable qualname: lambdas, "
+        "closures, local classes and handle-holders only fail at runtime "
+        "on parallel configs, which is exactly when nobody is watching."
+    )
+    scope = ()   # everywhere, tests included: the guard is the workers flag
+
+    def make_policy(self, project: ProjectModel):
+        return _PoolSafetyPolicy(project)

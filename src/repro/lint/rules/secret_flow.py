@@ -1,0 +1,134 @@
+"""Secret flow: enclave key material must not leave through observable channels.
+
+RAPTEE's security argument assumes the provisioned group key, sealing keys
+and sealed-blob plaintext exist only inside enclave logic.  The enclave
+boundary rules stop *code* from crossing; this family stops *data*: a key
+that flows into a log line, a telemetry event, a plaintext network payload
+or a snapshot envelope is gone, whatever module wrote the call.
+
+Sources
+    ``self._group_key`` reads, ``sealing_key_for``/``Enclave._sealing_key``
+    results, ``unseal(...)`` plaintext, AES key-schedule material.
+
+Sinks
+    ``print``/``logging``; telemetry emission; ``Network.request`` payloads
+    and handler returns; ``write_envelope``/``save`` snapshot state.
+
+Sanitizers
+    Encryption (``encrypt``, ``encrypt_block``, ``seal``, ``keystream``)
+    and digesting (``sha256``, ``hexdigest``, ``digest``) — a ciphertext or
+    fingerprint may travel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.lint.analysis.model import FunctionModel, ModuleModel, ProjectModel
+from repro.lint.core import Severity, register_rule
+from repro.lint.rules._flow import BindingAwarePolicy, FlowRule, receiver_ident
+
+__all__ = ["SecretLeakFlowRule"]
+
+_SECRET_ATTRS = frozenset({"_group_key", "group_key", "_sealing_key_cache"})
+
+#: Callee name -> label for calls whose *result* is secret.
+_SECRET_RESULTS = {
+    "sealing_key_for": "sealing-key",
+    "_sealing_key": "sealing-key",
+    "unseal": "sealed-plaintext",
+    "key_schedule": "key-schedule",
+    "_key_schedule": "key-schedule",
+}
+
+_SANITIZER_NAMES = frozenset({
+    "encrypt", "encrypt_block", "seal", "keystream", "sha256", "sha256_bytes",
+    "hexdigest", "digest", "fingerprint", "hmac_sha256", "constant_time_eq",
+})
+
+_LOG_METHODS = frozenset({
+    "debug", "info", "warning", "error", "critical", "exception", "log",
+})
+
+
+class _SecretFlowPolicy(BindingAwarePolicy):
+    def value_sources(self, value: tuple, fn: FunctionModel,
+                      module: ModuleModel) -> Set[str]:
+        if value[0] == "attr" and value[2] in _SECRET_ATTRS:
+            return {"enclave-group-key" if "group_key" in value[2] else "sealing-key"}
+        return set()
+
+    def call_result_sources(self, call: tuple, targets: Sequence[str],
+                            constructed: Optional[str], fn: FunctionModel,
+                            module: ModuleModel) -> Set[str]:
+        func = call[1]
+        name = func[1] if func[0] == "name" else (
+            func[2] if func[0] == "attr" else None
+        )
+        label = _SECRET_RESULTS.get(name or "")
+        return {label} if label else set()
+
+    def is_sanitizer(self, call: tuple, targets: Sequence[str],
+                     fn: FunctionModel, module: ModuleModel) -> bool:
+        func = call[1]
+        name = func[1] if func[0] == "name" else (
+            func[2] if func[0] == "attr" else None
+        )
+        return name in _SANITIZER_NAMES
+
+    def sinks_for_call(self, call, targets, constructed, fn, module):
+        sinks: List = []
+        func = call[1]
+        dotted = self.dotted(module, call) or ""
+
+        if dotted == "builtins.print":
+            sinks.append(("stdout (print)", None))
+        receiver = receiver_ident(func)
+        if func[0] == "attr" and func[2] in _LOG_METHODS and receiver and (
+            "log" in receiver.lower()
+        ):
+            sinks.append(("a log record", None))
+        if dotted.startswith("logging."):
+            sinks.append(("a log record", None))
+
+        if dotted.startswith("repro.telemetry") or any(
+            t.startswith("repro.telemetry") for t in targets
+        ):
+            sinks.append(("telemetry", None))
+        if func[0] == "attr" and func[2] in ("event", "emit", "observe") and \
+                receiver and "telemetr" in receiver.lower():
+            sinks.append(("telemetry", None))
+
+        network_target = any(".Network." in t for t in targets)
+        if func[0] == "attr" and func[2] in ("request", "send_push", "respond"):
+            if network_target or (receiver and "net" in receiver.lower()):
+                # Plaintext payload: the wire cipher is applied inside
+                # Network, but only to bytes it recognises; anything secret
+                # must already be sealed/encrypted by the caller.
+                sinks.append(("a network payload outside AesCtr", None))
+
+        if dotted.endswith("write_envelope") or any(
+            t.endswith("write_envelope") for t in targets
+        ):
+            sinks.append(("a snapshot envelope", None))
+        if any(t.endswith("snapshot.capture.save") for t in targets):
+            sinks.append(("a snapshot envelope", None))
+        return sinks
+
+
+@register_rule
+class SecretLeakFlowRule(FlowRule):
+    """Key material reaching logs, telemetry, payloads or snapshots."""
+
+    rule_id = "flow-secret-leak"
+    description = "enclave key material flows to an observable channel"
+    rationale = (
+        "The group key, sealing keys and unsealed plaintext underwrite the "
+        "Byzantine-resilience claims; one log line or snapshot field "
+        "containing them voids the threat model even in simulation."
+    )
+    severity = Severity.ERROR
+    scope = ("repro/",)
+
+    def make_policy(self, project: ProjectModel):
+        return _SecretFlowPolicy(project)

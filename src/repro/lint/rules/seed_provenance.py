@@ -1,0 +1,116 @@
+"""Seed provenance: unseeded entropy must never reach protocol state.
+
+The paper's claims are statistical over *seeded* runs; every random draw in
+the protocol core must descend from the experiment seed through
+``derive_seed``/``Sha256Prng``.  The per-file determinism rules catch
+direct calls (``random.random()``, ``time.time()``) — this flow family
+catches the laundered versions: a helper that returns ``random.Random()``
+(no seed) which a protocol class then stores as ``self.rng``, or wall-clock
+time flowing into ``derive_seed`` so the "deterministic" seed differs every
+run.
+
+Sources
+    ``random.Random()`` / ``numpy.random.default_rng()`` with no seed
+    argument, ``random.SystemRandom(...)``; ``time.time``/``time_ns``/
+    ``perf_counter``/``monotonic``; ``os.urandom``, ``uuid.uuid4`` and the
+    ``secrets`` module.
+
+Sinks
+    Assignments to protocol-object attributes (``self.x = ...`` inside the
+    protocol packages), seeding calls (``derive_seed``, ``Sha256Prng``,
+    ``.seed(...)``/``.spawn(...)``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.lint.analysis.model import FunctionModel, ModuleModel, ProjectModel
+from repro.lint.core import Severity, register_rule
+from repro.lint.rules._flow import BindingAwarePolicy, FlowRule
+
+__all__ = ["UnseededEntropyFlowRule"]
+
+#: Same packages the per-file determinism rules protect.
+PROTOCOL_SCOPE: Tuple[str, ...] = (
+    "repro/sim",
+    "repro/brahms",
+    "repro/gossip",
+    "repro/core",
+    "repro/adversary",
+)
+
+_UNSEEDED_CTORS = frozenset({"random.Random", "numpy.random.default_rng"})
+_ALWAYS_UNSEEDED = frozenset({"random.SystemRandom"})
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.perf_counter", "time.perf_counter_ns",
+    "time.monotonic", "time.monotonic_ns", "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+})
+_OS_ENTROPY_PREFIXES = ("os.urandom", "uuid.uuid1", "uuid.uuid4", "secrets.")
+
+_SEED_DERIVATION = frozenset({
+    "repro.crypto.prng.derive_seed", "repro.crypto.prng.Sha256Prng",
+})
+
+
+class _SeedProvenancePolicy(BindingAwarePolicy):
+    def _entropy_label(self, call: tuple, module: ModuleModel) -> Optional[str]:
+        dotted = self.dotted(module, call)
+        if dotted is None:
+            return None
+        if dotted in _ALWAYS_UNSEEDED:
+            return "os-entropy"
+        if dotted in _UNSEEDED_CTORS and not call[2] and not any(
+            name in ("seed", "x") for name, _value in call[3]
+        ):
+            return "unseeded-rng"
+        if dotted in _WALL_CLOCK:
+            return "wall-clock-entropy"
+        if dotted.startswith(_OS_ENTROPY_PREFIXES):
+            return "os-entropy"
+        return None
+
+    def call_result_sources(self, call: tuple, targets: Sequence[str],
+                            constructed: Optional[str], fn: FunctionModel,
+                            module: ModuleModel) -> Set[str]:
+        label = self._entropy_label(call, module)
+        return {label} if label is not None else set()
+
+    def sinks_for_call(self, call, targets, constructed, fn, module):
+        sinks: List = []
+        dotted = self.dotted(module, call)
+        if constructed in _SEED_DERIVATION or dotted in _SEED_DERIVATION:
+            sinks.append(("seed derivation", None))
+        func = call[1]
+        if func[0] == "attr" and func[2] in ("seed", "spawn"):
+            sinks.append((f"a PRNG .{func[2]}() call", None))
+        return sinks
+
+    def sink_for_store(self, base: tuple, attr: str, fn: FunctionModel,
+                       module: ModuleModel) -> Optional[str]:
+        if base != ("name", "self"):
+            return None
+        for prefix in PROTOCOL_SCOPE:
+            if module.scope_path.startswith(prefix.rstrip("/") + "/") or \
+                    module.scope_path == prefix:
+                return f"protocol state (self.{attr})"
+        return None
+
+
+@register_rule
+class UnseededEntropyFlowRule(FlowRule):
+    """Entropy outside the seed chain flowing into protocol state."""
+
+    rule_id = "flow-unseeded-entropy"
+    description = "unseeded/ambient entropy flows into protocol state or seeding"
+    rationale = (
+        "Every protocol random draw must derive from the experiment seed; "
+        "an unseeded RNG or wall-clock value laundered through a helper "
+        "silently breaks run-for-run reproducibility."
+    )
+    severity = Severity.ERROR
+    scope = PROTOCOL_SCOPE + ("repro/crypto", "repro/experiments", "repro/sgx")
+
+    def make_policy(self, project: ProjectModel):
+        return _SeedProvenancePolicy(project)

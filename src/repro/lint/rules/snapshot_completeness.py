@@ -1,0 +1,79 @@
+"""Snapshot completeness: pickle hooks must account for every init attribute.
+
+``repro.snapshot`` round-trips live objects through pickle; a
+``__getstate__`` that drops an attribute the class's ``__init__`` creates —
+without a ``__setstate__`` that rebuilds it — resumes into an object
+missing state, and the failure surfaces rounds later as a determinism
+divergence rather than at restore time.  This rule cross-checks, per class:
+
+* attributes ``__init__`` assigns (the project model records them, with
+  mutability),
+* what ``__getstate__`` removes (``del state[...]`` / ``state.pop(...)``)
+  versus merely *resets* to a fresh literal (allowed: the key survives),
+* what ``__setstate__`` reassigns.
+
+A dropped-but-never-restored attribute is an error.  Classes without
+pickle hooks are out of scope — default pickling is complete by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.analysis.model import ProjectModel
+from repro.lint.core import Finding, ProjectRule, Severity, register_rule
+
+__all__ = ["SnapshotMissingAttrRule"]
+
+
+@register_rule
+class SnapshotMissingAttrRule(ProjectRule):
+    """``__getstate__`` drops an ``__init__`` attribute nobody restores."""
+
+    rule_id = "snapshot-missing-attr"
+    description = "__getstate__ drops an attribute __setstate__ never restores"
+    rationale = (
+        "An attribute missing after restore does not crash at restore "
+        "time; it corrupts the resumed run and shows up as a determinism "
+        "divergence far from the cause."
+    )
+    severity = Severity.ERROR
+    scope = ("repro/",)
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        for cls in project.all_classes():
+            if cls.getstate is None:
+                continue
+            module = project.modules.get(cls.qualname.rsplit(".", 1)[0])
+            if module is None or not self.scope_allows(module.scope_path):
+                continue
+            # Only explicit reassignment restores a missing key —
+            # ``self.__dict__.update(state)`` cannot resurrect what the
+            # state dict does not contain.
+            restored = set(cls.setstate.assigned_attrs) if cls.setstate else set()
+
+            for name in cls.getstate.dropped:
+                if name in restored or name not in cls.init_attrs:
+                    continue
+                attr = cls.init_attrs[name]
+                yield self.finding_at(
+                    module.path, cls.getstate.lineno, 0,
+                    f"{cls.name}.__getstate__ drops self.{name} "
+                    f"(set in __init__ at line {attr.lineno}) and "
+                    f"__setstate__ never restores it",
+                )
+
+            if cls.getstate.explicit_keys is not None:
+                kept = set(cls.getstate.explicit_keys)
+                for name, attr in sorted(cls.init_attrs.items()):
+                    if name in kept or name in restored:
+                        continue
+                    if not attr.mutable:
+                        continue   # immutables are likely derived/constant
+                    yield self.finding_at(
+                        module.path, cls.getstate.lineno, 0,
+                        f"{cls.name}.__getstate__ returns an explicit state "
+                        f"dict that omits mutable attribute self.{name} "
+                        f"(set in __init__ at line {attr.lineno})",
+                    )

@@ -1,21 +1,24 @@
 """Tier-1 gate: the source tree satisfies every lint invariant.
 
 This is the test that makes :mod:`repro.lint` bite — a PR that introduces a
-determinism, enclave-boundary, crypto-hygiene or purity violation anywhere
-under ``src/`` or ``tests/`` fails here with the full finding list.
+determinism, enclave-boundary, crypto-hygiene, purity or whole-program flow
+violation anywhere under ``src/`` or ``tests/`` fails here with the full
+finding list.  The whole-program pass runs with the analysis cache both
+cold and warm so a caching bug can never hide a finding.
 """
 
 import os
 
 from repro.lint import LintRunner, load_config
+from repro.lint.analysis.cache import AnalysisCache
 from repro.lint.reporter import render_text
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def _lint(*relative_paths):
+def _lint(*relative_paths, cache=None, jobs=1):
     config = load_config(os.path.join(REPO_ROOT, "pyproject.toml"))
-    runner = LintRunner(config=config)
+    runner = LintRunner(config=config, cache=cache, jobs=jobs)
     return runner.lint_paths([os.path.join(REPO_ROOT, path) for path in relative_paths])
 
 
@@ -29,9 +32,27 @@ def test_test_tree_is_violation_free():
     assert findings == [], "\n" + render_text(findings)
 
 
+def test_src_tree_clean_under_cold_and_warm_cache(tmp_path):
+    """Whole-program findings are identical on a cold and a warm cache."""
+    cache = AnalysisCache(str(tmp_path / "lint-cache"))
+    cold = _lint("src", cache=cache)
+    assert cache.misses > 0 and cache.hits == 0
+    warm_cache = AnalysisCache(str(tmp_path / "lint-cache"))
+    warm = _lint("src", cache=warm_cache)
+    assert warm_cache.hits > 0 and warm_cache.misses == 0
+    assert cold == warm == []
+
+
 def test_rule_battery_is_present():
-    """All four invariant families stay wired into the default battery."""
+    """All invariant families stay wired into the default battery."""
     runner = LintRunner()
     families = {rule.rule_id.split("-")[0] for rule in runner.rules}
-    assert {"det", "enclave", "crypto", "purity"} <= families
-    assert len(runner.rules) >= 10
+    assert {"det", "enclave", "crypto", "purity", "flow", "snapshot"} <= families
+    whole_program = {rule.rule_id for rule in runner.project_rules}
+    assert {
+        "flow-unseeded-entropy",
+        "flow-secret-leak",
+        "flow-unpicklable-task",
+        "snapshot-missing-attr",
+    } <= whole_program
+    assert len(runner.rules) >= 14

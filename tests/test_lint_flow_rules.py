@@ -1,0 +1,379 @@
+"""True-positive / true-negative fixtures for the whole-program flow rules.
+
+Each family gets at least one seeded bug the rule must catch (including a
+regression fixture shaped like PR 5's PollutionProbe picklability bug) and
+one legitimate near-miss it must stay silent on.  Suppression-hygiene
+(``lint-unjustified-suppression``) tests live here too since the flow
+families are the ERROR rules people will most plausibly suppress.
+"""
+
+from repro.lint.core import lint_project, lint_source
+
+
+def _rules(findings):
+    return {f.rule_id for f in findings}
+
+
+def _messages(findings, rule_id):
+    return [f.message for f in findings if f.rule_id == rule_id]
+
+
+# A tiny stand-in for repro.experiments.runner so fixtures resolve the
+# real qualname the pool-safety policy keys on.
+_RUNNER_STUB = (
+    "def repeat(build_and_run, seeds, workers=None, checkpoint_path=None):\n"
+    "    return [build_and_run(s) for s in seeds]\n"
+)
+
+
+# -- flow-unseeded-entropy ----------------------------------------------------
+
+
+def test_unseeded_rng_laundered_through_helper_is_flagged():
+    findings = lint_project({
+        "repro/sim/helper.py": (
+            "import random\n"
+            "def fresh_rng():\n"
+            "    return random.Random()\n"
+        ),
+        "repro/sim/node.py": (
+            "from repro.sim.helper import fresh_rng\n"
+            "class Node:\n"
+            "    def __init__(self):\n"
+            "        self.rng = fresh_rng()\n"
+        ),
+    })
+    messages = _messages(findings, "flow-unseeded-entropy")
+    assert messages and "unseeded-rng" in messages[0]
+    assert "protocol state (self.rng)" in messages[0]
+
+
+def test_wall_clock_into_seed_derivation_is_flagged():
+    findings = lint_project({
+        "repro/experiments/sweep.py": (
+            "import time\n"
+            "from repro.crypto.prng import derive_seed\n"
+            "def seeds():\n"
+            "    stamp = time.time()\n"
+            "    return derive_seed(stamp)\n"
+        ),
+        "repro/crypto/prng.py": "def derive_seed(*parts):\n    return 7\n",
+    })
+    messages = _messages(findings, "flow-unseeded-entropy")
+    assert messages and "wall-clock-entropy" in messages[0]
+
+
+def test_properly_seeded_rng_is_clean():
+    findings = lint_project({
+        "repro/sim/node.py": (
+            "import random\n"
+            "class Node:\n"
+            "    def __init__(self, seed):\n"
+            "        self.rng = random.Random(seed)\n"
+        ),
+    })
+    assert "flow-unseeded-entropy" not in _rules(findings)
+
+
+# -- flow-secret-leak ---------------------------------------------------------
+
+
+def test_group_key_into_logger_is_flagged():
+    findings = lint_project({
+        "repro/sgx/prov.py": (
+            "class Provisioner:\n"
+            "    def __init__(self, group_key):\n"
+            "        self._group_key = group_key\n"
+            "    def debug_dump(self, logger):\n"
+            "        logger.info(self._group_key)\n"
+        ),
+    })
+    messages = _messages(findings, "flow-secret-leak")
+    assert messages and "enclave-group-key" in messages[0]
+    assert "log record" in messages[0]
+
+
+def test_unsealed_plaintext_into_snapshot_envelope_is_flagged():
+    findings = lint_project({
+        "repro/snapshot/dump.py": (
+            "from repro.sgx.sealing import unseal\n"
+            "from repro.snapshot.format import write_envelope\n"
+            "def checkpoint(device, measurement, blob, path):\n"
+            "    secret = unseal(device, measurement, blob)\n"
+            "    write_envelope(path, 'run', {}, secret)\n"
+        ),
+        "repro/sgx/sealing.py": (
+            "def unseal(device, measurement, blob):\n"
+            "    return blob\n"
+        ),
+        "repro/snapshot/format.py": (
+            "def write_envelope(path, kind, meta, state):\n"
+            "    return None\n"
+        ),
+    })
+    messages = _messages(findings, "flow-secret-leak")
+    assert messages and "sealed-plaintext" in messages[0]
+    assert "snapshot envelope" in messages[0]
+
+
+def test_encrypted_key_on_the_wire_is_clean():
+    findings = lint_project({
+        "repro/sgx/prov.py": (
+            "class Provisioner:\n"
+            "    def __init__(self, group_key):\n"
+            "        self._group_key = group_key\n"
+            "    def provision(self, public_key, rng, network, dst):\n"
+            "        blob = public_key.encrypt(self._group_key, rng)\n"
+            "        return network.request(0, dst, blob)\n"
+        ),
+    })
+    assert "flow-secret-leak" not in _rules(findings)
+
+
+def test_key_fingerprint_in_telemetry_is_clean():
+    findings = lint_project({
+        "repro/sgx/prov.py": (
+            "from hashlib import sha256\n"
+            "class Provisioner:\n"
+            "    def __init__(self, group_key, telemetry):\n"
+            "        self._group_key = group_key\n"
+            "        self._telemetry = telemetry\n"
+            "    def note(self, telemetry):\n"
+            "        telemetry.event('prov', key=sha256(self._group_key))\n"
+        ),
+    })
+    assert "flow-secret-leak" not in _rules(findings)
+
+
+# -- flow-unpicklable-task ----------------------------------------------------
+
+
+def test_lambda_into_parallel_repeat_is_flagged():
+    findings = lint_project({
+        "repro/experiments/sweep.py": (
+            "from repro.experiments.runner import repeat\n"
+            "def go(seeds):\n"
+            "    task = lambda s: s\n"
+            "    return repeat(task, seeds, workers=4)\n"
+        ),
+        "repro/experiments/runner.py": _RUNNER_STUB,
+    })
+    messages = _messages(findings, "flow-unpicklable-task")
+    assert messages and "a lambda" in messages[0]
+
+
+def test_serial_repeat_with_lambda_is_clean():
+    findings = lint_project({
+        "repro/experiments/sweep.py": (
+            "from repro.experiments.runner import repeat\n"
+            "def go(seeds):\n"
+            "    return repeat(lambda s: s, seeds)\n"
+        ),
+        "repro/experiments/runner.py": _RUNNER_STUB,
+    })
+    assert "flow-unpicklable-task" not in _rules(findings)
+
+
+def test_closure_through_helper_into_pool_submit_is_flagged():
+    findings = lint_project({
+        "repro/experiments/pooled.py": (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "def make_task(bias):\n"
+            "    def task(seed):\n"
+            "        return seed + bias\n"
+            "    return task\n"
+            "def launch(seeds):\n"
+            "    job = make_task(3)\n"
+            "    with ProcessPoolExecutor(max_workers=2) as pool:\n"
+            "        return [pool.submit(job, s) for s in seeds]\n"
+        ),
+    })
+    messages = _messages(findings, "flow-unpicklable-task")
+    assert messages and "a closure" in messages[0]
+    assert "ProcessPoolExecutor.submit()" in messages[0]
+
+
+def test_pollution_probe_regression_local_class_to_parallel_repeat():
+    """The PR 5 bug, as a fixture: a function-local probe class handed to
+    ``repeat(..., workers=N)`` pickles only when nobody runs parallel."""
+    findings = lint_project({
+        "repro/experiments/scenarios.py": (
+            "from repro.experiments.runner import repeat\n"
+            "def probe_scenario(seeds):\n"
+            "    class PollutionProbe:\n"
+            "        def __call__(self, seed):\n"
+            "            return seed\n"
+            "    return repeat(PollutionProbe(), seeds, workers=2)\n"
+        ),
+        "repro/experiments/runner.py": _RUNNER_STUB,
+    })
+    messages = _messages(findings, "flow-unpicklable-task")
+    assert messages and "local class PollutionProbe" in messages[0]
+
+
+def test_module_level_callable_into_parallel_repeat_is_clean():
+    findings = lint_project({
+        "repro/experiments/sweep.py": (
+            "from repro.experiments.runner import repeat\n"
+            "def run_one(seed):\n"
+            "    return seed\n"
+            "def go(seeds):\n"
+            "    return repeat(run_one, seeds, workers=4)\n"
+        ),
+        "repro/experiments/runner.py": _RUNNER_STUB,
+    })
+    assert "flow-unpicklable-task" not in _rules(findings)
+
+
+def test_handle_holder_instance_into_parallel_repeat_is_flagged():
+    findings = lint_project({
+        "repro/experiments/sweep.py": (
+            "from repro.experiments.runner import repeat\n"
+            "class LogTap:\n"
+            "    def __init__(self, path):\n"
+            "        self.handle = open(path, 'a')\n"
+            "    def __call__(self, seed):\n"
+            "        return seed\n"
+            "def go(seeds):\n"
+            "    tap = LogTap('/tmp/x')\n"
+            "    return repeat(tap, seeds, workers=2)\n"
+        ),
+        "repro/experiments/runner.py": _RUNNER_STUB,
+    })
+    messages = _messages(findings, "flow-unpicklable-task")
+    assert messages and "LogTap" in messages[0] and "open()" in messages[0]
+
+
+# -- snapshot-missing-attr ----------------------------------------------------
+
+
+def test_dropped_attribute_without_restore_is_flagged():
+    findings = lint_project({
+        "repro/sim/thing.py": (
+            "class T:\n"
+            "    def __init__(self):\n"
+            "        self._cache = {}\n"
+            "    def __getstate__(self):\n"
+            "        state = dict(self.__dict__)\n"
+            "        del state['_cache']\n"
+            "        return state\n"
+        ),
+    })
+    messages = _messages(findings, "snapshot-missing-attr")
+    assert messages and "_cache" in messages[0]
+
+
+def test_dropped_attribute_with_setstate_restore_is_clean():
+    findings = lint_project({
+        "repro/sim/thing.py": (
+            "class T:\n"
+            "    def __init__(self):\n"
+            "        self._cache = {}\n"
+            "    def __getstate__(self):\n"
+            "        state = dict(self.__dict__)\n"
+            "        state.pop('_cache')\n"
+            "        return state\n"
+            "    def __setstate__(self, state):\n"
+            "        self.__dict__.update(state)\n"
+            "        self._cache = {}\n"
+        ),
+    })
+    assert "snapshot-missing-attr" not in _rules(findings)
+
+
+def test_reset_to_fresh_literal_is_clean():
+    """The Network pattern: the key survives with a fresh value."""
+    findings = lint_project({
+        "repro/sim/thing.py": (
+            "class T:\n"
+            "    def __init__(self):\n"
+            "        self._pair_ciphers = {}\n"
+            "    def __getstate__(self):\n"
+            "        state = dict(self.__dict__)\n"
+            "        state['_pair_ciphers'] = {}\n"
+            "        return state\n"
+        ),
+    })
+    assert "snapshot-missing-attr" not in _rules(findings)
+
+
+def test_explicit_state_dict_omitting_mutable_attr_is_flagged():
+    findings = lint_project({
+        "repro/sim/thing.py": (
+            "class T:\n"
+            "    def __init__(self):\n"
+            "        self.counts = {}\n"
+            "        self.limit = 8\n"
+            "    def __getstate__(self):\n"
+            "        return {'limit': self.limit}\n"
+        ),
+    })
+    messages = _messages(findings, "snapshot-missing-attr")
+    assert messages and "counts" in messages[0]
+    # The immutable attr is allowed to be derived/reconstructed.
+    assert all("limit" not in m or "counts" in m for m in messages)
+
+
+# -- lint-unjustified-suppression ---------------------------------------------
+
+
+def test_unjustified_error_suppression_notes_all_comment_kinds():
+    for comment in (
+        "import time\nx = time.time()  # lint: disable=det-wall-clock\n",
+        "import time\n# lint: disable-next=det-wall-clock\nx = time.time()\n",
+        "# lint: disable-file=det-wall-clock\nimport time\nx = time.time()\n",
+    ):
+        findings = lint_source(comment)
+        assert "lint-unjustified-suppression" in _rules(findings), comment
+        assert "det-wall-clock" not in _rules(findings)  # still suppressed
+
+
+def test_justified_error_suppression_is_silent():
+    findings = lint_source(
+        "import time\n"
+        "x = time.time()  # lint: disable=det-wall-clock -- replay harness "
+        "compares against recorded real time\n"
+    )
+    assert findings == []
+
+
+def test_crlf_suppressions_parse_and_note():
+    source = (
+        "import time\r\n"
+        "x = time.time()  # lint: disable=det-wall-clock\r\n"
+    )
+    findings = lint_source(source)
+    assert "lint-unjustified-suppression" in _rules(findings)
+    justified = source.replace(
+        "det-wall-clock", "det-wall-clock -- replaying a wall-clock trace"
+    )
+    assert lint_source(justified) == []
+
+
+def test_warning_rule_suppression_needs_no_justification():
+    findings = lint_source("print('hi')  # lint: disable=purity-print\n")
+    assert findings == []
+
+
+def test_suppressing_the_note_itself_is_possible_with_justification():
+    findings = lint_source(
+        "import time\n"
+        "# lint: disable-file=lint-unjustified-suppression -- legacy file, "
+        "justifications arrive with the next cleanup\n"
+        "x = time.time()  # lint: disable=det-wall-clock\n"
+    )
+    assert findings == []
+
+
+def test_flow_finding_is_suppressible_inline():
+    findings = lint_project({
+        "repro/sim/node.py": (
+            "import random\n"
+            "class Node:\n"
+            "    def __init__(self):\n"
+            "        self.rng = random.Random()  "
+            "# lint: disable=flow-unseeded-entropy -- fixture exercises "
+            "the unseeded path on purpose\n"
+        ),
+    })
+    assert "flow-unseeded-entropy" not in _rules(findings)
