@@ -29,6 +29,7 @@ Examples::
     python -m repro figure fig9 --scale test
     python -m repro attack --f 0.2 --t 0.2 --eviction 1.0
     python -m repro faults --drill enclave-outage --nodes 200 --rounds 50
+    python -m repro faults --drill membership-churn --trace-out churn.jsonl
     python -m repro trace --nodes 50 --rounds 30 --seed 7 --out trace.jsonl
     python -m repro lint src tests --format json
     python -m repro bench --smoke --out BENCH_perf.json
@@ -51,6 +52,7 @@ from repro.experiments.figures import (
     figure13_poisoned_injection,
     fixed_eviction_figure,
     identification_figure,
+    membership_churn_figure,
     table1_sgx_overhead,
 )
 from repro.experiments.runner import bundle_metrics
@@ -121,7 +123,7 @@ def build_parser() -> argparse.ArgumentParser:
     figure_parser.add_argument(
         "figure_id",
         choices=("fig3", "table1", "fig5", "fig6", "fig7", "fig8", "fig9",
-                 "fig10", "fig11", "fig12", "fig13"),
+                 "fig10", "fig11", "fig12", "fig13", "churn"),
     )
     figure_parser.add_argument("--scale", choices=sorted(_SCALES), default="test")
 
@@ -145,6 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
     faults_parser.add_argument("--nodes", type=int, default=200)
     faults_parser.add_argument("--rounds", type=int, default=50)
     faults_parser.add_argument("--seed", type=int, default=1)
+    faults_parser.add_argument("--trace-out", default=None, metavar="PATH",
+                               help="also write the drill's telemetry trace "
+                                    "here as JSON Lines")
 
     trace_parser = subparsers.add_parser(
         "trace", help="run one scenario with telemetry and export the trace"
@@ -295,6 +300,7 @@ def _command_figure(args) -> int:
             "Fig. 12 — identification attack, adaptive", 0.10, scale,
             policies=(AdaptiveEviction(),)),
         "fig13": lambda: figure13_poisoned_injection(scale),
+        "churn": lambda: membership_churn_figure(scale),
     }
     result = builders[args.figure_id]()
     print(result.render())
@@ -326,9 +332,14 @@ def _command_attack(args) -> int:
 
 def _command_faults(args) -> int:
     report = run_drill(
-        args.drill, nodes=args.nodes, rounds=args.rounds, seed=args.seed
+        args.drill, nodes=args.nodes, rounds=args.rounds, seed=args.seed,
+        capture_trace=bool(args.trace_out),
     )
     print(report.render())
+    if args.trace_out:
+        with open(args.trace_out, "w", encoding="utf-8") as stream:
+            stream.write(report.trace_jsonl or "")
+        print(f"trace:              {args.trace_out}")
     return 0 if report.violations == 0 else 1
 
 

@@ -28,6 +28,12 @@ class RapteeConfig:
             (§VIII, after Anceaume et al.): flatten the pulled-ID stream's
             occurrence bias with a count-min sketch before view renewal.
             See :mod:`repro.brahms.countmin`.
+        membership_enabled: dynamic trusted-set membership (see
+            :mod:`repro.membership`): trusted nodes additionally gate
+            §IV-B swaps on their verified membership view — peer still a
+            member, not revoked, and both sides on the current group-key
+            epoch.  Off by default; the legacy static deployment is
+            byte-identical.
     """
 
     brahms: BrahmsConfig = field(default_factory=BrahmsConfig)
@@ -36,6 +42,7 @@ class RapteeConfig:
     trusted_exchange_enabled: bool = True
     eviction_enabled: bool = True
     sketch_unbias_enabled: bool = False
+    membership_enabled: bool = False
 
     def __post_init__(self) -> None:
         if self.auth_mode not in ("hmac", "aes-ctr"):

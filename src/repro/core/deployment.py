@@ -10,7 +10,7 @@ provisioned trusted enclave".
 from __future__ import annotations
 
 import random
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.core.enclave import RapteeEnclave
 from repro.core.recovery import RetryPolicy, provision_with_retry
@@ -18,6 +18,9 @@ from repro.crypto.prng import Sha256Prng
 from repro.sgx.attestation import AttestationService
 from repro.sgx.enclave import EnclaveHost, SgxDevice
 from repro.sgx.provisioning import GroupKeyProvisioner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.membership.service import ReplicatedProvisioningService
 
 __all__ = ["TrustedInfrastructure"]
 
@@ -46,6 +49,22 @@ class TrustedInfrastructure:
         )
         self._measurement_trusted = False
         self.devices: Dict[int, SgxDevice] = {}
+        self._membership: Optional["ReplicatedProvisioningService"] = None
+
+    def enable_membership(
+        self, service: "ReplicatedProvisioningService"
+    ) -> None:
+        """Route all future provisioning through a replicated service.
+
+        Replica 0 of the service wraps :attr:`provisioner`, so existing
+        hooks and counters keep observing the same object; the service
+        adds quorum verification, failover, and group-key epochs.
+        """
+        self._membership = service
+
+    @property
+    def membership(self) -> Optional["ReplicatedProvisioningService"]:
+        return self._membership
 
     def reload_enclave(self, device_id: int) -> EnclaveHost:
         """Load a fresh, unprovisioned enclave on an existing device.
@@ -74,7 +93,10 @@ class TrustedInfrastructure:
             self.attestation.trust_measurement(host.measurement)
             self._measurement_trusted = True
         quote, public_key = host.begin_provisioning()
-        ciphertext = self.provisioner.provision(quote, public_key)
+        provisioner = (
+            self._membership if self._membership is not None else self.provisioner
+        )
+        ciphertext = provisioner.provision(quote, public_key)
         host.complete_provisioning(ciphertext)
 
     def new_trusted_enclave(

@@ -36,6 +36,7 @@ class RapteeEnclave(Enclave):
         super().__init__(_device)
         self._scheme = AuthScheme(auth_mode)
         self._group_key: Optional[bytes] = None
+        self._group_epoch = 0
         self._ephemeral: Optional[RsaKeyPair] = None
         self._provisioning_key_bits = provisioning_key_bits
         self._rng = Sha256Prng(int.from_bytes(self._random_bytes(16), "big"))
@@ -52,36 +53,63 @@ class RapteeEnclave(Enclave):
 
     @ecall
     def complete_provisioning(self, ciphertext: bytes) -> None:
-        """Decrypt and install K_T; forgets the ephemeral key afterwards."""
+        """Decrypt and install K_T; forgets the ephemeral key afterwards.
+
+        Accepts the legacy 16-byte payload (epoch 0) or the epoch-tagged
+        24-byte one: 8-byte big-endian epoch number followed by the key.
+        """
         if self._ephemeral is None:
             raise ProvisioningError("begin_provisioning was not called")
-        group_key = self._ephemeral.private.decrypt(ciphertext)
-        if len(group_key) != 16:
-            raise ProvisioningError("provisioned key has the wrong size")
-        self._group_key = group_key
+        secret = self._ephemeral.private.decrypt(ciphertext)
+        self._group_epoch, self._group_key = self._split_epoch_payload(secret)
         self._ephemeral = None
+
+    @staticmethod
+    def _split_epoch_payload(secret: bytes) -> Tuple[int, bytes]:
+        if len(secret) == 16:
+            return 0, secret
+        if len(secret) == 24:
+            return int.from_bytes(secret[:8], "big"), secret[8:]
+        raise ProvisioningError("provisioned key has the wrong size")
 
     @ecall
     def is_provisioned(self) -> bool:
         return self._group_key is not None
 
+    @ecall
+    def group_epoch(self) -> int:
+        """The epoch of the held group key (0 for the bootstrap key)."""
+        if self._group_key is None:
+            raise ProvisioningError("enclave is not provisioned")
+        return self._group_epoch
+
     # -- sealing --------------------------------------------------------------
 
     @ecall
     def seal_group_key(self) -> bytes:
-        """Persist K_T sealed to this device and enclave identity."""
+        """Persist K_T sealed to this device and enclave identity.
+
+        Epoch 0 seals the bare key (the legacy blob format); later epochs
+        seal the epoch tag alongside so a restore knows which generation
+        it resurrects.
+        """
         if self._group_key is None:
             raise ProvisioningError("no group key to seal")
-        return seal(self._device, self._measurement, self._group_key,
+        if self._group_epoch == 0:
+            secret = self._group_key
+        else:
+            secret = self._group_epoch.to_bytes(8, "big") + self._group_key
+        return seal(self._device, self._measurement, secret,
                     self._random_bytes(8))
 
     @ecall
     def restore_group_key(self, blob: bytes) -> None:
         """Load a previously sealed K_T (restart path, no re-attestation)."""
-        group_key = unseal(self._device, self._measurement, blob)
-        if len(group_key) != 16:
+        secret = unseal(self._device, self._measurement, blob)
+        try:
+            self._group_epoch, self._group_key = self._split_epoch_payload(secret)
+        except ProvisioningError:
             raise ProvisioningError("sealed blob does not contain a group key")
-        self._group_key = group_key
 
     # -- mutual authentication (the group key never leaves) ---------------------
 

@@ -30,7 +30,7 @@ itself back and resumes trusted swaps and eviction.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.brahms.countmin import StreamUnbiaser
 from repro.brahms.node import BrahmsNode, PulledBatch
@@ -53,6 +53,9 @@ from repro.sim.messages import (
     TrustedSwapRequest,
 )
 from repro.sim.node import NodeKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.membership.log import NodeMembershipView
 
 __all__ = ["RapteeNode"]
 
@@ -100,6 +103,10 @@ class RapteeNode(BrahmsNode):
         self.trusted_exchanges_total = 0
         self.degradations_total = 0
         self.promotions_total = 0
+        # Dynamic trusted-set membership (None = legacy static deployment).
+        self.membership_view: Optional["NodeMembershipView"] = None
+        self.enclave_epoch = 0
+        self._round_exchange_epochs: List[int] = []
 
     # -- trusted status and enclave failure handling -----------------------------
 
@@ -147,12 +154,49 @@ class RapteeNode(BrahmsNode):
             # Freshly reloaded hosts predate wiring; adopt them here so
             # their ECALLs keep being counted after recovery.
             enclave.set_telemetry(self.telemetry, self.node_id)
+        if self.membership_view is not None:
+            # The restored enclave may hold a rotated key: re-cache its
+            # epoch so the §IV-B membership gate judges the right one.
+            self.refresh_enclave_epoch()
         if self.degraded:
             self.degraded = False
             self.promotions_total += 1
             if self.telemetry is not None:
                 self.telemetry.counter("raptee.promotions").inc()
                 self.telemetry.event("node.promote", node=self.node_id)
+
+    # -- dynamic trusted-set membership ------------------------------------------
+
+    def set_membership_view(self, view: "NodeMembershipView") -> None:
+        """Attach this node's verified membership-log view (see
+        :mod:`repro.membership`)."""
+        if not self._trusted_role:
+            raise ValueError("only trusted-role nodes track membership")
+        self.membership_view = view
+
+    def refresh_enclave_epoch(self) -> None:
+        """Cache the enclave's group-key epoch (one ECALL).
+
+        The cache is what the per-exchange gate consults — an ECALL per
+        swap would distort the paper's cycle accounting.
+        """
+        self.enclave_epoch = self.enclave.group_epoch()
+
+    @property
+    def round_exchange_epochs(self) -> Tuple[int, ...]:
+        """Epochs under which this node completed swaps this round."""
+        return tuple(self._round_exchange_epochs)
+
+    def _membership_permits(self, peer_id: int) -> bool:
+        """§IV-B gate extension: both ends current members on the current
+        epoch.  Without a membership view (the legacy deployment) the gate
+        is a constant True."""
+        view = self.membership_view
+        if view is None or not self.raptee_config.membership_enabled:
+            return True
+        return view.permits(self.node_id, self.enclave_epoch) and view.permits(
+            peer_id, self.enclave_epoch
+        )
 
     # -- round lifecycle -------------------------------------------------------
 
@@ -162,6 +206,7 @@ class RapteeNode(BrahmsNode):
         self._trusted_sessions = set()
         self._id_contacts = 0
         self._trusted_id_contacts = 0
+        self._round_exchange_epochs = []
 
     # -- active pull with mutual authentication ----------------------------------
 
@@ -217,6 +262,7 @@ class RapteeNode(BrahmsNode):
             self.trusted
             and peer_trusted
             and self.raptee_config.trusted_exchange_enabled
+            and self._membership_permits(target)
         ):
             self._run_trusted_swap(ctx, target)
 
@@ -238,6 +284,7 @@ class RapteeNode(BrahmsNode):
         )
         self.known.update(swap_reply.offered)
         self.trusted_exchanges_total += 1
+        self._round_exchange_epochs.append(self.enclave_epoch)
 
     # -- passive side ---------------------------------------------------------------
 
@@ -297,6 +344,7 @@ class RapteeNode(BrahmsNode):
             not self.trusted
             or not self.raptee_config.trusted_exchange_enabled
             or message.sender not in self._trusted_sessions
+            or not self._membership_permits(message.sender)
         ):
             return None
         self._charge(PeerSamplingFunction.TRUSTED_COMMUNICATIONS)
@@ -309,6 +357,7 @@ class RapteeNode(BrahmsNode):
         self._id_contacts += 1
         self._trusted_id_contacts += 1
         self.trusted_exchanges_total += 1
+        self._round_exchange_epochs.append(self.enclave_epoch)
         return TrustedSwapReply(sender=self.node_id, offered=offer.offered)
 
     # -- Byzantine eviction (§IV-C) ----------------------------------------------

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from repro.core.node import RapteeNode
 from repro.sgx.errors import AttestationError, ProvisioningError, SealingError
@@ -84,6 +84,9 @@ class RecoveryState:
     attempts: int = 0
     next_attempt_round: int = 0
     exhausted: bool = False
+    #: Exception type name of the most recent failure ("" before any) —
+    #: lets drills tell an attestation outage from a corrupted blob.
+    last_cause: str = ""
 
 
 @dataclass
@@ -94,6 +97,7 @@ class RecoveryStats:
     reprovisions: int = 0
     failed_attempts: int = 0
     corrupted_blobs: int = 0
+    revoked_abandons: int = 0
 
 
 class EnclaveRecoveryManager:
@@ -119,6 +123,18 @@ class EnclaveRecoveryManager:
         self._states: Dict[int, RecoveryState] = {}
         self.stats = RecoveryStats()
         self.telemetry: Optional["Telemetry"] = None
+        self._revocation_check: Optional[Callable[[int], bool]] = None
+
+    def set_revocation_check(self, check: Callable[[int], bool]) -> None:
+        """Abandon recovery outright for nodes the check marks revoked.
+
+        Installed by the membership layer: once a device is revoked, its
+        re-attestation can never succeed, so retrying is an infinite
+        backoff loop.  Legacy deployments (no membership) keep the old
+        behaviour, including the sealed-restore-after-revocation path that
+        models device-local sealing.
+        """
+        self._revocation_check = check
 
     def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
         """Mirror recovery counters and transitions into a hub."""
@@ -153,6 +169,14 @@ class EnclaveRecoveryManager:
         self._sealed[node_id] = blob[:-1] + bytes([blob[-1] ^ 0xFF])
         return True
 
+    def discard_sealed_blob(self, node_id: int) -> None:
+        """Drop a node's sealed blob (it wraps a superseded epoch's key).
+
+        Called by the membership director on rotation so the rung-1
+        sealed-restore shortcut cannot resurrect a stale group key.
+        """
+        self._sealed.pop(node_id, None)
+
     # -- per-round recovery --------------------------------------------------
 
     def exhausted_node_ids(self) -> Tuple[int, ...]:
@@ -181,6 +205,19 @@ class EnclaveRecoveryManager:
 
     def _attempt_recovery(self, node: RapteeNode, round_number: int) -> None:
         state = self._states.setdefault(node.node_id, RecoveryState())
+        if (
+            not state.exhausted
+            and self._revocation_check is not None
+            and self._revocation_check(node.node_id)
+        ):
+            # Revoked mid-recovery: re-attestation is permanently futile.
+            # Abandon immediately instead of spinning the backoff ladder.
+            state.exhausted = True
+            state.last_cause = "revoked"
+            self._sealed.pop(node.node_id, None)
+            self.stats.revoked_abandons += 1
+            self._record("revoked_abandons", node.node_id)
+            return
         if state.exhausted or round_number < state.next_attempt_round:
             return
         host = self._infrastructure.reload_enclave(node.node_id)
@@ -204,16 +241,21 @@ class EnclaveRecoveryManager:
         # Rung 2: full re-attestation + provisioning, under backoff.
         try:
             self._infrastructure.provision_host(host)
-        except (ProvisioningError, AttestationError):
+        except (ProvisioningError, AttestationError) as error:
             self.stats.failed_attempts += 1
             delay = self.policy.delay_rounds(state.attempts, self._rng)
             state.attempts += 1
+            state.last_cause = type(error).__name__
             self._record(
-                "failed_attempts", node.node_id, attempt=state.attempts
+                "failed_attempts", node.node_id, attempt=state.attempts,
+                cause=state.last_cause, detail=str(error),
             )
             if state.attempts >= self.policy.max_attempts:
                 state.exhausted = True
-                self._record("exhausted", node.node_id)
+                self._record(
+                    "exhausted", node.node_id,
+                    cause=state.last_cause, detail=str(error),
+                )
             else:
                 state.next_attempt_round = round_number + delay
             return
@@ -238,8 +280,10 @@ def provision_with_retry(
     Before the simulation clock exists there are no rounds to back off
     across, so attempts are immediate; the jitter draw is still consumed so
     bootstrap and mid-run recovery share one deterministic rng discipline.
-    Returns the number of attempts used; re-raises the last error once
-    ``policy.max_attempts`` is exhausted.
+    Returns the number of attempts used; once ``policy.max_attempts`` is
+    exhausted, raises a :class:`ProvisioningError` that *chains* the last
+    underlying failure (``raise ... from``), so callers and drills can tell
+    an attestation outage from, say, a corrupted key binding.
     """
     last_error: Optional[Exception] = None
     for attempt in range(policy.max_attempts):
@@ -250,4 +294,7 @@ def provision_with_retry(
             last_error = error
             policy.delay_rounds(attempt, rng)
     assert last_error is not None
-    raise last_error
+    raise ProvisioningError(
+        f"provisioning failed after {policy.max_attempts} attempt(s): "
+        f"{last_error}"
+    ) from last_error

@@ -19,7 +19,7 @@ from repro.analysis.metrics import (
 from repro.analysis.stats import summarize
 from repro.core.eviction import AdaptiveEviction, EvictionPolicy, FixedEviction
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import RunMetrics, run_bundle
+from repro.experiments.runner import RunMetrics, bundle_metrics, run_bundle
 from repro.experiments.scenarios import (
     SimulationBundle,
     TopologySpec,
@@ -40,6 +40,7 @@ __all__ = [
     "eviction_figure",
     "identification_figure",
     "figure13_poisoned_injection",
+    "membership_churn_figure",
 ]
 
 
@@ -407,4 +408,68 @@ def figure13_poisoned_injection(
                         f"{resilience_improvement(base_resilience, resilience):+.1f}",
                     ]
                 )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Extension — pollution rate under trusted-set churn (dynamic membership)
+# ---------------------------------------------------------------------------
+
+def membership_churn_figure(
+    scale: Scale,
+    churn_rates: Sequence[float] = (0.0, 0.02, 0.05),
+    byzantine_fraction: float = 0.10,
+    trusted_fraction: float = 0.20,
+) -> FigureResult:
+    """Pollution vs trusted-set churn rate (beyond the paper's static set).
+
+    Each row runs the full RAPTEE deployment with dynamic membership: a
+    per-round probability ``rate`` of one trusted node joining and one
+    leaving, every leave forcing a group-key rotation the surviving
+    trusted set must re-attest through.  The pollution column shows how
+    much Byzantine presence the overlay absorbs while the trusted set is
+    repeatedly re-keying — the cost of revocation-capable membership.
+    """
+    from repro.faults.harness import wire_faults
+    from repro.faults.plan import FaultPlan
+    from repro.membership import MembershipConfig
+
+    result = FigureResult(
+        figure_id="Churn — pollution under trusted-set churn",
+        headers=["churn/round", "byz-in-views %", "epochs", "joins", "leaves"],
+    )
+    for rate in churn_rates:
+        resiliences: List[float] = []
+        epochs = joins = leaves = 0
+        for seed in scale.seeds():
+            spec = TopologySpec(
+                n_nodes=scale.n_nodes,
+                byzantine_fraction=byzantine_fraction,
+                trusted_fraction=trusted_fraction,
+                view_ratio=scale.view_ratio,
+            )
+            membership = MembershipConfig(join_rate=rate, leave_rate=rate)
+            bundle = build_raptee_simulation(
+                spec, seed, eviction=AdaptiveEviction(), membership=membership
+            )
+            # An empty fault plan still wires the recovery manager and the
+            # membership director tick — which is what drives the churn.
+            harness = wire_faults(bundle, FaultPlan(), seed)
+            harness.run(scale.rounds)
+            metrics = bundle_metrics(bundle, scale.rounds)
+            resiliences.append(metrics.resilience)
+            director = bundle.membership
+            epochs += director.service.chain.current.number
+            joins += director.stats.joins
+            leaves += director.stats.leaves
+        repetitions = len(scale.seeds())
+        result.rows.append(
+            [
+                f"{rate:.0%}",
+                f"{100 * sum(resiliences) / len(resiliences):.1f}",
+                f"{epochs / repetitions:.1f}",
+                f"{joins / repetitions:.1f}",
+                f"{leaves / repetitions:.1f}",
+            ]
+        )
     return result

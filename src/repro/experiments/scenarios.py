@@ -37,6 +37,8 @@ from repro.core.deployment import TrustedInfrastructure
 from repro.core.eviction import EvictionPolicy
 from repro.core.node import RapteeNode
 from repro.crypto.prng import Sha256Prng, derive_seed
+from repro.membership.director import MembershipDirector
+from repro.membership.service import MembershipConfig, ReplicatedProvisioningService
 from repro.sgx.cycles import CycleAccountant, CycleModel
 from repro.sim.bootstrap import UniformBootstrap
 from repro.sim.engine import Simulation
@@ -137,6 +139,10 @@ class SimulationBundle:
     #: the per-round telemetry observer rides along on every run.
     telemetry: Optional["Telemetry"] = None
     telemetry_observer: Optional["TelemetryObserver"] = None
+    #: Dynamic trusted-set membership (built when the scenario is given a
+    #: :class:`~repro.membership.service.MembershipConfig`); ``None`` keeps
+    #: the legacy static trusted set, byte-identical with earlier releases.
+    membership: Optional[MembershipDirector] = None
 
     def run(self, rounds: int, extra_observers: Sequence = ()) -> None:
         observers = [self.trace, self.discovery]
@@ -254,12 +260,20 @@ def build_raptee_simulation(
     cycle_mode: str = "sgx",
     adversary_strategy: str = "adaptive_balanced",
     config_override: Optional[BrahmsConfig] = None,
+    membership: Optional[MembershipConfig] = None,
 ) -> SimulationBundle:
     """The full RAPTEE deployment of §V-B (plus §VI-B injections).
 
     ``probe_pulls`` > 0 makes Byzantine nodes issue that many pull probes
     per round, feeding the identification attack's intelligence.
+
+    ``membership`` switches on dynamic trusted-set membership: trusted
+    nodes are provisioned through a :class:`ReplicatedProvisioningService`
+    (quorum over K replicas), carry epoch-checked membership views, and a
+    :class:`MembershipDirector` rides on the bundle to drive churn,
+    rotation, and revocation gossip (ticked by the fault injector).
     """
+    membership_on = membership is not None and membership.enabled
     brahms_config = config_override or spec.brahms_config()
     raptee_config = RapteeConfig(
         brahms=brahms_config,
@@ -268,6 +282,7 @@ def build_raptee_simulation(
         trusted_exchange_enabled=trusted_exchange_enabled,
         eviction_enabled=eviction_enabled,
         sketch_unbias_enabled=sketch_unbias_enabled,
+        membership_enabled=membership_on,
     )
     network = Network(_mt(seed, "network"), loss_rate=spec.loss_rate,
                       encrypt=spec.transport_encryption)
@@ -276,6 +291,21 @@ def build_raptee_simulation(
         auth_mode=auth_mode,
         provisioning_key_bits=provisioning_key_bits,
     )
+    director: Optional[MembershipDirector] = None
+    if membership_on:
+        service = ReplicatedProvisioningService(
+            infrastructure,
+            Sha256Prng(derive_seed(seed, "membership", "service")),
+            replica_count=membership.replica_count,
+        )
+        infrastructure.enable_membership(service)
+        director = MembershipDirector(
+            service,
+            membership,
+            _mt(seed, "membership", "director"),
+            seed,
+            raptee_config=raptee_config,
+        )
     cycle_model = CycleModel() if with_cycle_accounting else None
 
     byzantine_ids = list(range(spec.n_byzantine))
@@ -364,6 +394,23 @@ def build_raptee_simulation(
         _mt(seed, "bootstrap"),
         skip_kinds=(NodeKind.POISONED_TRUSTED,),
     )
+    if director is not None:
+        # All bootstrap-time trusted devices (poisoned injections included —
+        # they passed attestation legitimately) enter the roster without log
+        # records; correct trusted nodes get epoch-checked membership views.
+        service = director.service
+        for node_id in trusted_ids + poisoned_ids:
+            service.bootstrap_member(node_id)
+        for node in nodes:
+            if (
+                isinstance(node, RapteeNode)
+                and node.node_id in trusted_ids
+                and node.trusted_role
+            ):
+                view = service.new_view(node.node_id)
+                node.set_membership_view(view)
+                node.refresh_enclave_epoch()
+                director.register_view(node.node_id, view)
     simulation = Simulation(network, nodes, _mt(seed, "engine"))
     _install_pollution_probe(coordinator, simulation)
     return SimulationBundle(
@@ -375,4 +422,5 @@ def build_raptee_simulation(
         infrastructure=infrastructure,
         trusted_ids=frozenset(trusted_ids) | frozenset(poisoned_ids),
         cycle_accountants=cycle_accountants,
+        membership=director,
     )

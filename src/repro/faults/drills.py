@@ -18,13 +18,20 @@ Available drills:
 * ``flaky-provisioning`` — trusted nodes crash-restart with corrupted
   backups while the provisioning service refuses most requests, forcing
   recovery through many retry rounds.
+* ``membership-churn`` — dynamic trusted-set membership under compound
+  failure: a provisioner replica crashes, a trusted device is revoked
+  (forcing a group-key rotation), a scheduled rotation lands *inside* an
+  attestation outage, and background join/leave churn runs throughout.
+  Exercises quorum failover, epoch enforcement (every trusted node must
+  re-attest into the new epoch), revocation propagation through the
+  gossiped membership log, and the epoch-exchange invariant.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.metrics import resilience_from_trace
 from repro.core.eviction import AdaptiveEviction
@@ -34,15 +41,20 @@ from repro.faults.invariants import InvariantChecker
 from repro.faults.plan import (
     AttestationOutageFault,
     CrashRestartFault,
+    DeviceRevocationFault,
     EnclaveCrashFault,
+    EpochRotationFault,
     FaultPlan,
     LossBurstFault,
     PartitionFault,
+    ProvisionerReplicaCrashFault,
     ProvisioningFlakinessFault,
     RoundWindow,
     SealedBlobCorruptionFault,
 )
+from repro.membership import MembershipConfig
 from repro.telemetry import Telemetry, wire_telemetry
+from repro.telemetry.exporters import trace_to_jsonl
 
 __all__ = ["DRILLS", "DrillReport", "run_drill"]
 
@@ -69,6 +81,16 @@ class DrillReport:
     still_degraded: int
     rounds_checked: int
     violations: int
+    # Dynamic trusted-set membership (all zero for legacy drills).
+    rotations: int = 0
+    revocations: int = 0
+    membership_joins: int = 0
+    membership_leaves: int = 0
+    stale_degrades: int = 0
+    current_epoch: int = 0
+    #: The full telemetry trace as JSON Lines, when captured — the CI
+    #: membership smoke job uploads this as its artifact.
+    trace_jsonl: Optional[str] = None
 
     def render(self) -> str:
         lines = [
@@ -90,6 +112,15 @@ class DrillReport:
             f"invariants:         {self.rounds_checked} rounds checked, "
             f"{self.violations} violation(s)",
         ]
+        if self.rotations or self.revocations or self.current_epoch:
+            lines.extend([
+                f"group-key epochs:   {self.rotations} rotation(s), "
+                f"final epoch {self.current_epoch}",
+                f"membership:         {self.revocations} revocation(s), "
+                f"{self.membership_joins} join(s), "
+                f"{self.membership_leaves} leave(s), "
+                f"{self.stale_degrades} stale-epoch degrade(s)",
+            ])
         return "\n".join(lines)
 
 
@@ -147,11 +178,44 @@ def _flaky_provisioning_plan(bundle: SimulationBundle, rounds: int) -> FaultPlan
     return FaultPlan(faults)
 
 
+def _membership_churn_plan(bundle: SimulationBundle, rounds: int) -> FaultPlan:
+    trusted = _trusted_ids(bundle)
+    victim = trusted[0]
+    crash_round = max(2, rounds // 5)
+    return FaultPlan([
+        # The legacy-primary replica goes down: quorum must hold at 2/3 and
+        # the release failover moves to replica 1, deterministically.
+        ProvisionerReplicaCrashFault(0, crash_round, down_rounds=6),
+        # A trusted device is revoked, forcing an immediate re-key; every
+        # other trusted node must re-attest into the new epoch.
+        DeviceRevocationFault(victim, crash_round),
+        AttestationOutageFault(
+            RoundWindow(crash_round + 2, crash_round + 5)
+        ),
+        # A scheduled rotation lands mid-outage: the whole trusted set is
+        # degraded while re-attestation is refused, and must recover
+        # through backoff once the outage lifts.
+        EpochRotationFault(crash_round + 3),
+    ])
+
+
 DRILLS = {
     "enclave-outage": _enclave_outage_plan,
     "partition": _partition_plan,
     "flaky-provisioning": _flaky_provisioning_plan,
+    "membership-churn": _membership_churn_plan,
 }
+
+#: Drills that need the bundle built with dynamic membership enabled.
+_MEMBERSHIP_DRILLS = frozenset({"membership-churn"})
+
+#: Membership knobs the churn drill runs under: background join/leave
+#: churn on top of the planned faults, with a leave-triggered re-key.
+_DRILL_MEMBERSHIP = MembershipConfig(
+    replica_count=3,
+    join_rate=0.04,
+    leave_rate=0.03,
+)
 
 
 def run_drill(
@@ -159,21 +223,34 @@ def run_drill(
     nodes: int = 200,
     rounds: int = 50,
     seed: int = 1,
+    capture_trace: bool = False,
 ) -> DrillReport:
-    """Build, break, run, and summarize one named drill."""
+    """Build, break, run, and summarize one named drill.
+
+    ``capture_trace`` stores the full telemetry trace on the report as
+    JSON Lines (``trace_jsonl``) — callers that want it on disk write it
+    themselves (this module performs no file I/O).
+    """
     if name not in DRILLS:
         raise ValueError(
             f"unknown drill {name!r}; available: {', '.join(sorted(DRILLS))}"
         )
-    bundle = build_raptee_simulation(_drill_spec(nodes), seed, eviction=AdaptiveEviction())
+    membership = _DRILL_MEMBERSHIP if name in _MEMBERSHIP_DRILLS else None
+    bundle = build_raptee_simulation(
+        _drill_spec(nodes), seed, eviction=AdaptiveEviction(),
+        membership=membership,
+    )
     # Telemetry first, so the injector and recovery manager pick up the hub
     # and every number the report needs lands in the registry.
     telemetry = wire_telemetry(bundle).telemetry
     plan = DRILLS[name](bundle, rounds)
-    checker = InvariantChecker(record_only=True)
+    checker = InvariantChecker(record_only=True, membership=bundle.membership)
     harness = wire_faults(bundle, plan, seed, checker=checker)
     harness.run(rounds)
-    return _report(name, nodes, rounds, seed, harness, telemetry)
+    return _report(
+        name, nodes, rounds, seed, harness, telemetry,
+        capture_trace=capture_trace,
+    )
 
 
 def _report(
@@ -183,6 +260,7 @@ def _report(
     seed: int,
     harness: FaultHarness,
     telemetry: Telemetry,
+    capture_trace: bool = False,
 ) -> DrillReport:
     """Summarize a finished drill from the telemetry registry.
 
@@ -217,4 +295,21 @@ def _report(
         still_degraded=int(registry.value("raptee.degraded_nodes")),
         rounds_checked=checker.rounds_checked if checker else 0,
         violations=len(checker.violations) if checker else 0,
+        # Rotation counts carry a `reason` label; sum across reasons.
+        rotations=sum(
+            int(count)
+            for count in registry.by_label(
+                "membership.rotations", "reason"
+            ).values()
+        ),
+        revocations=int(registry.value("membership.revocations")),
+        membership_joins=int(registry.value("membership.joins")),
+        membership_leaves=int(registry.value("membership.leaves")),
+        stale_degrades=int(registry.value("membership.stale_degrades")),
+        current_epoch=int(registry.value("membership.epoch")),
+        trace_jsonl=(
+            trace_to_jsonl(telemetry.trace.events)
+            if capture_trace and telemetry.trace is not None
+            else None
+        ),
     )

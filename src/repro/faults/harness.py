@@ -85,7 +85,10 @@ def wire_faults(
             ):
                 recovery.adopt(node)
     injector = FaultInjector(plan, injector_rng)
-    injector.attach(bundle.simulation, bundle.infrastructure, recovery)
+    injector.attach(
+        bundle.simulation, bundle.infrastructure, recovery,
+        membership=bundle.membership,
+    )
     if telemetry is not None:
         injector.set_telemetry(telemetry)
     return FaultHarness(

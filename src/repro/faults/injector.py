@@ -35,17 +35,21 @@ from repro.faults.plan import (
     DeviceRevocationFault,
     EclipseFault,
     EnclaveCrashFault,
+    EpochRotationFault,
     FaultPlan,
     LinkFault,
     LossBurstFault,
     OmissionFault,
     PartitionFault,
+    ProvisionerReplicaCrashFault,
     ProvisioningFlakinessFault,
+    RevocationStormFault,
     SealedBlobCorruptionFault,
 )
 from repro.sim.engine import FaultController, Simulation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.membership.director import MembershipDirector
     from repro.telemetry.hub import Telemetry
 
 __all__ = ["InjectionStats", "FaultInjector"]
@@ -63,6 +67,9 @@ class InjectionStats:
     revocations: int = 0
     outage_rounds: int = 0
     provisioning_refusals: int = 0
+    replica_crashes: int = 0
+    replica_restores: int = 0
+    rotations: int = 0
 
     @property
     def messages_dropped(self) -> int:
@@ -80,8 +87,11 @@ class FaultInjector(FaultController):
         self._simulation: Optional[Simulation] = None
         self._infrastructure = None
         self.recovery: Optional[EnclaveRecoveryManager] = None
+        self.membership: Optional["MembershipDirector"] = None
         #: node_id -> round at which to bring the node back up.
         self._revive_at: Dict[int, int] = {}
+        #: replica_id -> round at which to restore a crashed replica.
+        self._replica_restore_at: Dict[int, int] = {}
         self._round = 0
         # Split the plan once by layer so the per-message hook stays cheap.
         self._link_faults = plan.of_type(LinkFault)
@@ -95,6 +105,9 @@ class FaultInjector(FaultController):
         self._enclave_crashes = plan.of_type(EnclaveCrashFault)
         self._blob_corruptions = plan.of_type(SealedBlobCorruptionFault)
         self._revocations = plan.of_type(DeviceRevocationFault)
+        self._replica_crashes = plan.of_type(ProvisionerReplicaCrashFault)
+        self._rotations = plan.of_type(EpochRotationFault)
+        self._revocation_storms = plan.of_type(RevocationStormFault)
 
     # -- wiring ----------------------------------------------------------------
 
@@ -103,6 +116,7 @@ class FaultInjector(FaultController):
         simulation: Simulation,
         infrastructure=None,
         recovery: Optional[EnclaveRecoveryManager] = None,
+        membership: Optional["MembershipDirector"] = None,
     ) -> None:
         """Install the injector's hooks on a simulation (and its TCB)."""
         if self._simulation is not None:
@@ -112,19 +126,36 @@ class FaultInjector(FaultController):
                 "the plan contains SGX faults but no TrustedInfrastructure "
                 "was provided"
             )
+        if self.plan.needs_membership and membership is None:
+            raise ValueError(
+                "the plan contains membership faults but no MembershipDirector "
+                "was provided (build the bundle with a MembershipConfig)"
+            )
         self._simulation = simulation
         self._infrastructure = infrastructure
         self.recovery = recovery
+        self.membership = membership
+        if membership is not None:
+            membership.bind(injector=self, recovery=recovery)
         simulation.set_fault_controller(self)
         simulation.network.install_fault_hook(self._on_message)
         if infrastructure is not None and self._flakiness:
-            infrastructure.provisioner.set_fault_hook(self._provisioning_fault)
+            if membership is not None:
+                # Cover every replica of the replicated service, not just
+                # the legacy provisioner (replica 0 wraps it).
+                membership.service.set_fault_hook(self._provisioning_fault)
+            else:
+                infrastructure.provisioner.set_fault_hook(
+                    self._provisioning_fault
+                )
 
     def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
         """Fire a trace event (and counter) for every applied fault."""
         self.telemetry = telemetry
         if self.recovery is not None:
             self.recovery.set_telemetry(telemetry)
+        if self.membership is not None:
+            self.membership.set_telemetry(telemetry)
 
     def _record(
         self,
@@ -180,12 +211,54 @@ class FaultInjector(FaultController):
 
         for fault in self._revocations:
             if fault.at_round == round_number:
-                self._infrastructure.attestation.revoke_device(fault.node_id)
+                if self.membership is not None:
+                    # Route through the membership service so the
+                    # revocation is logged and forces a re-key.
+                    self.membership.service.revoke(fault.node_id, round_number)
+                else:
+                    self._infrastructure.attestation.revoke_device(fault.node_id)
                 self.stats.revocations += 1
                 self._record("revocations", "revocation", node=fault.node_id)
 
+        if self.membership is not None:
+            self._apply_membership_faults(round_number)
+            self.membership.tick(simulation)
+
         if self.recovery is not None:
             self.recovery.tick(simulation)
+
+    def _apply_membership_faults(self, round_number: int) -> None:
+        service = self.membership.service
+        for fault in self._replica_crashes:
+            if fault.at_round == round_number:
+                service.crash_replica(fault.replica_id)
+                if fault.down_rounds:
+                    self._replica_restore_at[fault.replica_id] = (
+                        fault.at_round + fault.down_rounds
+                    )
+                self.stats.replica_crashes += 1
+                self._record(
+                    "replica_crashes", "replica_crash", replica=fault.replica_id
+                )
+        for replica_id in sorted(self._replica_restore_at):
+            if self._replica_restore_at[replica_id] <= round_number:
+                del self._replica_restore_at[replica_id]
+                service.restore_replica(replica_id)
+                self.stats.replica_restores += 1
+                self._record(
+                    "replica_restores", "replica_restore", replica=replica_id
+                )
+        for fault in self._rotations:
+            if fault.at_round == round_number:
+                service.rotate(round_number, reason=fault.reason)
+                self.stats.rotations += 1
+                self._record("rotations", "rotation", reason=fault.reason)
+        for fault in self._revocation_storms:
+            if fault.at_round == round_number:
+                for node_id in fault.node_ids:
+                    service.revoke(node_id, round_number)
+                    self.stats.revocations += 1
+                    self._record("revocations", "revocation", node=node_id)
 
     def _crash_node(self, simulation: Simulation, fault: CrashRestartFault) -> None:
         if fault.node_id not in simulation.nodes:
@@ -217,6 +290,31 @@ class FaultInjector(FaultController):
                     self._record("provisioning_refusals", "provisioning_refusal")
                     return f"flaky provisioning (round {self._round})"
         return None
+
+    # -- deterministic link queries (no rng draws) -----------------------------
+
+    def blocks(self, src: int, dst: int, round_number: int) -> bool:
+        """Whether the plan's *deterministic* cuts sever this link now.
+
+        Used by the membership director to decide which gossip links are
+        down: only partitions and eclipses count (probabilistic faults
+        must not be consulted here — that would burn rng draws outside
+        the message path and shift every later probabilistic decision).
+        """
+        for fault in self._partitions:
+            if fault.window.covers(round_number) and (
+                (src in fault.group_a and dst in fault.group_b)
+                or (src in fault.group_b and dst in fault.group_a)
+            ):
+                return True
+        for fault in self._eclipses:
+            if not fault.window.covers(round_number):
+                continue
+            if src == fault.victim and dst not in fault.allowed:
+                return True
+            if dst == fault.victim and src not in fault.allowed:
+                return True
+        return False
 
     # -- message-level faults --------------------------------------------------
 

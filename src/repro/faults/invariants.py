@@ -22,14 +22,27 @@ Checked per round, over every alive correct node:
   small tolerance absorbs transiently isolated stragglers — under heavy
   pollution a node's view can momentarily hold only Byzantine IDs without
   the overlay being split.
+
+With a membership director attached (dynamic trusted sets,
+:mod:`repro.membership`), two more hold each round:
+
+* **epoch-exchange** — no trusted node completed a §IV-B swap this round
+  under any epoch other than the current one; in particular, never under
+  a *revoked* epoch's key, and never while its own device is revoked;
+* **membership-staleness** — no alive trusted node's membership view lags
+  a log record older than ``staleness_bound`` rounds (revocations must
+  propagate).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.sim.engine import Observer, Simulation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.membership.director import MembershipDirector
 
 __all__ = ["InvariantViolation", "Violation", "InvariantChecker"]
 
@@ -67,6 +80,7 @@ class InvariantChecker(Observer):
         connectivity_grace: int = 10,
         connectivity_tolerance: float = 0.05,
         record_only: bool = False,
+        membership: Optional["MembershipDirector"] = None,
     ):
         if not 0.0 <= connectivity_tolerance < 1.0:
             raise ValueError("connectivity_tolerance must be in [0, 1)")
@@ -74,6 +88,7 @@ class InvariantChecker(Observer):
         self.connectivity_grace = connectivity_grace
         self.connectivity_tolerance = connectivity_tolerance
         self.record_only = record_only
+        self.membership = membership
         self.rounds_checked = 0
         self.violations: List[Violation] = []
 
@@ -85,6 +100,8 @@ class InvariantChecker(Observer):
             self._check_node(simulation, node)
         if simulation.round_number > self.connectivity_grace:
             self._check_connectivity(simulation)
+        if self.membership is not None:
+            self._check_membership(simulation)
 
     # -- per-node checks -------------------------------------------------------
 
@@ -151,6 +168,62 @@ class InvariantChecker(Observer):
                 f"overlay split: {len(stranded)} of {len(members)} correct "
                 f"nodes unreachable (e.g. {stranded[:5]})",
             )
+
+    # -- dynamic trusted-set membership ----------------------------------------
+
+    def _check_membership(self, simulation: Simulation) -> None:
+        director = self.membership
+        service = director.service
+        chain = service.chain
+        current = chain.current.number
+        round_number = simulation.round_number
+        for node in sorted(simulation.correct_nodes(), key=lambda n: n.node_id):
+            if not getattr(node, "trusted_role", False):
+                continue
+            epochs = getattr(node, "round_exchange_epochs", ())
+            if not epochs:
+                continue
+            if service.is_revoked(node.node_id):
+                self._fail(
+                    simulation, "epoch-exchange", node.node_id,
+                    f"revoked node completed {len(epochs)} trusted "
+                    f"exchange(s) this round",
+                )
+            revoked_used = sorted(
+                {epoch for epoch in epochs if chain.is_revoked_epoch(epoch)}
+            )
+            if revoked_used:
+                self._fail(
+                    simulation, "epoch-exchange", node.node_id,
+                    f"trusted exchange used revoked epoch(s) {revoked_used}",
+                )
+            stale_used = sorted(
+                {epoch for epoch in epochs if epoch != current}
+            )
+            if stale_used:
+                self._fail(
+                    simulation, "epoch-exchange", node.node_id,
+                    f"trusted exchange used non-current epoch(s) "
+                    f"{stale_used} (current {current})",
+                )
+        bound = director.config.staleness_bound
+        log = service.log
+        for node_id in sorted(director.views):
+            node = simulation.nodes.get(node_id)
+            if node is None or not node.alive:
+                continue
+            view = director.views[node_id]
+            overdue = sorted(
+                record.seq
+                for record in log.records_since(view.applied_seq)
+                if round_number - record.round_number > bound
+            )
+            if overdue:
+                self._fail(
+                    simulation, "membership-staleness", node_id,
+                    f"log records {overdue} still unapplied after "
+                    f"{bound} round(s)",
+                )
 
     # -- reporting -------------------------------------------------------------
 

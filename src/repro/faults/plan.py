@@ -13,7 +13,13 @@ spanning the three layers the simulator can break:
 * **SGX** — :class:`AttestationOutageFault` (the attestation service
   refuses quotes for a window), :class:`ProvisioningFlakinessFault`
   (probabilistic provisioning refusals), :class:`EnclaveCrashFault`,
-  :class:`SealedBlobCorruptionFault`, :class:`DeviceRevocationFault`.
+  :class:`SealedBlobCorruptionFault`, :class:`DeviceRevocationFault`;
+* **membership** (dynamic trusted sets, :mod:`repro.membership`) —
+  :class:`ProvisionerReplicaCrashFault` (one replica of the replicated
+  provisioning service goes down), :class:`EpochRotationFault` (a forced
+  group-key rotation — combine with :class:`PartitionFault` for the
+  rotation-during-partition scenario), :class:`RevocationStormFault`
+  (several trusted devices revoked in one round).
 
 Plans are pure data — the :mod:`repro.faults.injector` interprets them
 against a running simulation.  All probabilistic faults draw from the
@@ -40,6 +46,9 @@ __all__ = [
     "EnclaveCrashFault",
     "SealedBlobCorruptionFault",
     "DeviceRevocationFault",
+    "ProvisionerReplicaCrashFault",
+    "EpochRotationFault",
+    "RevocationStormFault",
     "FaultPlan",
 ]
 
@@ -264,6 +273,74 @@ class DeviceRevocationFault(Fault):
         return f"device of node {self.node_id} revoked at round {self.at_round}"
 
 
+@dataclass(frozen=True)
+class ProvisionerReplicaCrashFault(Fault):
+    """One replica of the replicated provisioning service goes down.
+
+    ``down_rounds == 0`` means the crash is permanent; otherwise the
+    replica is restored (and re-synced to the current epoch) after that
+    many rounds.
+    """
+
+    replica_id: int
+    at_round: int
+    down_rounds: int = 0
+
+    def validate(self) -> None:
+        if self.replica_id < 0:
+            raise ValueError("replica_id must be non-negative")
+        if self.at_round < 1:
+            raise ValueError("at_round must be >= 1")
+        if self.down_rounds < 0:
+            raise ValueError("down_rounds must be non-negative")
+
+    def describe(self) -> str:
+        span = (
+            "permanently"
+            if self.down_rounds == 0
+            else f"for {self.down_rounds} round(s)"
+        )
+        return (f"provisioner replica {self.replica_id} crashes at round "
+                f"{self.at_round} {span}")
+
+
+@dataclass(frozen=True)
+class EpochRotationFault(Fault):
+    """A forced group-key rotation at a specific round."""
+
+    at_round: int
+    reason: str = "scheduled"
+
+    def validate(self) -> None:
+        if self.at_round < 1:
+            raise ValueError("at_round must be >= 1")
+        if not self.reason:
+            raise ValueError("reason must be non-empty")
+
+    def describe(self) -> str:
+        return f"group-key rotation ({self.reason}) at round {self.at_round}"
+
+
+@dataclass(frozen=True)
+class RevocationStormFault(Fault):
+    """Several trusted devices revoked in the same round."""
+
+    node_ids: Tuple[int, ...]
+    at_round: int
+
+    def validate(self) -> None:
+        if not self.node_ids:
+            raise ValueError("a revocation storm needs at least one node")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ValueError("node_ids must be distinct")
+        if self.at_round < 1:
+            raise ValueError("at_round must be >= 1")
+
+    def describe(self) -> str:
+        return (f"revocation storm over {len(self.node_ids)} device(s) "
+                f"at round {self.at_round}")
+
+
 #: Fault classes that require a :class:`~repro.core.deployment.TrustedInfrastructure`
 #: (and a recovery manager) to be interpretable.
 SGX_FAULTS = (
@@ -272,6 +349,14 @@ SGX_FAULTS = (
     EnclaveCrashFault,
     SealedBlobCorruptionFault,
     DeviceRevocationFault,
+)
+
+#: Fault classes that additionally require a membership director
+#: (:class:`repro.membership.MembershipDirector`) attached to the injector.
+MEMBERSHIP_FAULTS = (
+    ProvisionerReplicaCrashFault,
+    EpochRotationFault,
+    RevocationStormFault,
 )
 
 
@@ -304,6 +389,10 @@ class FaultPlan:
     @property
     def needs_sgx(self) -> bool:
         return any(isinstance(f, SGX_FAULTS) for f in self.faults)
+
+    @property
+    def needs_membership(self) -> bool:
+        return any(isinstance(f, MEMBERSHIP_FAULTS) for f in self.faults)
 
     def describe(self) -> str:
         if not self.faults:

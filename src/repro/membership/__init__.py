@@ -1,0 +1,43 @@
+"""Dynamic trusted-set membership (ReplicaTEE/Proteus-inspired extension).
+
+RAPTEE's paper fixes the trusted set at bootstrap; this package makes it
+dynamic while preserving the repo's determinism discipline:
+
+* :mod:`repro.membership.epoch` — group-key epochs with seeded rotation;
+* :mod:`repro.membership.log` — the signed, hash-chained membership log
+  and per-node verified views of it;
+* :mod:`repro.membership.service` — the K-replica quorum provisioning
+  service that owns the log and the epoch chain;
+* :mod:`repro.membership.director` — the per-round driver: churn, stale-
+  epoch enforcement, and epidemic log propagation.
+
+Everything is opt-in: a deployment built without a
+:class:`MembershipConfig` is bit-for-bit the legacy static one.
+"""
+
+from repro.membership.director import MembershipDirector, MembershipStats
+from repro.membership.epoch import KEY_SIZE, EpochChain, KeyEpoch
+from repro.membership.log import (
+    ACTIONS,
+    MembershipLog,
+    MembershipRecord,
+    NodeMembershipView,
+)
+from repro.membership.service import (
+    MembershipConfig,
+    ReplicatedProvisioningService,
+)
+
+__all__ = [
+    "ACTIONS",
+    "KEY_SIZE",
+    "EpochChain",
+    "KeyEpoch",
+    "MembershipConfig",
+    "MembershipDirector",
+    "MembershipLog",
+    "MembershipRecord",
+    "MembershipStats",
+    "NodeMembershipView",
+    "ReplicatedProvisioningService",
+]

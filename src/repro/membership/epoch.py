@@ -1,0 +1,108 @@
+"""Group-key epochs: seeded rotation of the trusted group key K_T.
+
+RAPTEE provisions one static group key at bootstrap (§IV-A); a single
+leaked or revoked trusted device would compromise it forever.  Following
+ReplicaTEE's secret-rotation scheme, the key becomes *epochal*: epoch 0 is
+the bootstrap key, and every rotation derives the next key from a master
+secret with HKDF over the epoch number.  Rotation is deterministic given
+the master secret, so two runs under the same seed produce byte-identical
+epoch keys — the property every differential test in this repo leans on.
+
+An epoch retired *because of a revocation* is additionally marked: the
+fault-drill invariant ("no trusted exchange ever completes under a revoked
+epoch's key") checks exchanges against that mark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+from repro.crypto.hashing import hkdf
+
+__all__ = ["KEY_SIZE", "KeyEpoch", "EpochChain"]
+
+#: Group keys are AES-128-sized, like the bootstrap K_T.
+KEY_SIZE = 16
+
+
+@dataclass(frozen=True)
+class KeyEpoch:
+    """One generation of the group key.
+
+    Attributes:
+        number: 0 for the bootstrap key, +1 per rotation.
+        key: the 16-byte group key of this epoch.
+        created_round: simulation round the epoch came into force.
+        reason: why the previous epoch ended ("genesis", "scheduled",
+            "revocation", "leave", ...).
+    """
+
+    number: int
+    key: bytes
+    created_round: int
+    reason: str
+
+    def __post_init__(self) -> None:
+        if self.number < 0:
+            raise ValueError("epoch number must be non-negative")
+        if len(self.key) != KEY_SIZE:
+            raise ValueError(f"epoch key must be {KEY_SIZE} bytes")
+        if not self.reason:
+            raise ValueError("epoch reason must be non-empty")
+
+
+class EpochChain:
+    """The ordered history of group-key epochs.
+
+    Epoch 0 wraps the legacy bootstrap key unchanged, so a chain that is
+    never rotated is byte-for-byte the static-key deployment.  Later keys
+    are ``HKDF(master_secret, "epoch" || number)`` — independent of the
+    retiring key, so compromising one epoch reveals no other.
+    """
+
+    def __init__(self, genesis_key: bytes, master_secret: bytes):
+        if len(genesis_key) != KEY_SIZE:
+            raise ValueError(f"genesis key must be {KEY_SIZE} bytes")
+        if len(master_secret) < 16:
+            raise ValueError("master secret must be at least 16 bytes")
+        self._master = master_secret
+        self._epochs: List[KeyEpoch] = [
+            KeyEpoch(number=0, key=genesis_key, created_round=0, reason="genesis")
+        ]
+        #: Epoch numbers retired *by a revocation* — their keys must never
+        #: authenticate another trusted exchange.
+        self._revoked: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._epochs)
+
+    @property
+    def current(self) -> KeyEpoch:
+        return self._epochs[-1]
+
+    def epoch(self, number: int) -> KeyEpoch:
+        if not 0 <= number < len(self._epochs):
+            raise KeyError(f"no epoch {number}")
+        return self._epochs[number]
+
+    def rotate(self, round_number: int, reason: str = "scheduled") -> KeyEpoch:
+        """Derive and install the next epoch; returns it."""
+        number = self.current.number + 1
+        key = hkdf(
+            self._master, b"epoch" + number.to_bytes(8, "big"), length=KEY_SIZE
+        )
+        if reason == "revocation":
+            self._revoked.add(self.current.number)
+        epoch = KeyEpoch(
+            number=number, key=key, created_round=round_number, reason=reason
+        )
+        self._epochs.append(epoch)
+        return epoch
+
+    def is_revoked_epoch(self, number: int) -> bool:
+        """True when ``number`` was retired because of a device revocation."""
+        return number in self._revoked
+
+    def revoked_epochs(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._revoked))

@@ -1,0 +1,309 @@
+"""ReplicaTEE-style replicated provisioning with quorum and failover.
+
+A single :class:`~repro.sgx.provisioning.GroupKeyProvisioner` is a single
+point of failure: crash it (or take the attestation service down) and no
+enclave can ever be (re-)provisioned.  Following ReplicaTEE, the service
+runs K provisioner replicas that each independently attest a candidate
+enclave; the group key is released only when a *quorum* (majority of the
+configured replica count) approves.  Failover is deterministic: the
+release is performed by the lowest-numbered alive approving replica, so
+two runs under the same fault plan pick the same primary.
+
+Replica 0 *is* the infrastructure's legacy provisioner object — fault
+hooks, telemetry wiring, and counters installed against
+``infrastructure.provisioner`` keep observing the same instance, and a
+deployment that never enables membership is untouched.
+
+The service is also the sole writer of the membership log
+(:mod:`repro.membership.log`) and the owner of the epoch chain
+(:mod:`repro.membership.epoch`): joins, leaves, revocations, and
+rotations all pass through here so the log stays totally ordered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.crypto.prng import Sha256Prng
+from repro.membership.epoch import EpochChain, KeyEpoch
+from repro.membership.log import MembershipLog, NodeMembershipView
+from repro.sgx.errors import ProvisioningError
+from repro.sgx.provisioning import GroupKeyProvisioner
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.deployment import TrustedInfrastructure
+    from repro.sgx.attestation import Quote
+    from repro.telemetry import Telemetry
+
+__all__ = ["MembershipConfig", "ReplicatedProvisioningService"]
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Knobs for dynamic trusted-set membership.
+
+    Attributes:
+        enabled: master switch; False builds the legacy static deployment.
+        replica_count: K provisioner replicas (quorum = majority of K).
+        gossip_fanout: trusted peers each node anti-entropies the
+            membership log with per round (along its Brahms view).
+        service_contacts: nodes per round that sync straight from the
+            service (the "registration authority" seeding the gossip).
+        staleness_bound: rounds a log record may stay unapplied at an
+            alive trusted node before the staleness invariant trips.
+        join_rate: per-round probability a fresh trusted node joins.
+        leave_rate: per-round probability a random trusted node leaves.
+        rotate_on_leave: whether a voluntary leave also forces a re-key
+            (a leaver still holds the old epoch's key).
+    """
+
+    enabled: bool = True
+    replica_count: int = 3
+    gossip_fanout: int = 3
+    service_contacts: int = 2
+    staleness_bound: int = 8
+    join_rate: float = 0.0
+    leave_rate: float = 0.0
+    rotate_on_leave: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replica_count < 1:
+            raise ValueError("replica_count must be at least 1")
+        if self.gossip_fanout < 0 or self.service_contacts < 0:
+            raise ValueError("fanout/contacts must be non-negative")
+        if self.staleness_bound < 1:
+            raise ValueError("staleness_bound must be at least 1 round")
+        for rate in (self.join_rate, self.leave_rate):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("churn rates must be in [0, 1]")
+
+
+class ReplicatedProvisioningService:
+    """K-replica provisioning front-end plus membership-log authority."""
+
+    def __init__(
+        self,
+        infrastructure: "TrustedInfrastructure",
+        rng: Sha256Prng,
+        replica_count: int = 3,
+    ):
+        if replica_count < 1:
+            raise ValueError("replica_count must be at least 1")
+        self.infrastructure = infrastructure
+        self._attestation = infrastructure.attestation
+        self.chain = EpochChain(infrastructure.group_key, rng.bytes(32))
+        self.log = MembershipLog(rng.bytes(32))
+        # Replica 0 IS the legacy provisioner: existing fault hooks,
+        # counters, and telemetry wired against it keep working.
+        self._replicas: Dict[int, GroupKeyProvisioner] = {
+            0: infrastructure.provisioner
+        }
+        for replica_id in range(1, replica_count):
+            self._replicas[replica_id] = GroupKeyProvisioner(
+                self._attestation,
+                infrastructure.group_key,
+                rng.spawn("replica", replica_id),
+            )
+        self._alive: Dict[int, bool] = {
+            replica_id: True for replica_id in self._replicas
+        }
+        self._members: List[int] = []
+        self._bootstrap_roster: List[int] = []
+        self._revoked: List[int] = []
+        self._telemetry: Optional["Telemetry"] = None
+
+    # -- replica management --------------------------------------------------
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    def quorum_size(self) -> int:
+        """Majority of the *configured* replica count."""
+        return len(self._replicas) // 2 + 1
+
+    def alive_replica_ids(self) -> Tuple[int, ...]:
+        return tuple(
+            replica_id
+            for replica_id in sorted(self._replicas)
+            if self._alive[replica_id]
+        )
+
+    def primary_replica_id(self) -> Optional[int]:
+        """Deterministic failover: the lowest-numbered alive replica."""
+        alive = self.alive_replica_ids()
+        return alive[0] if alive else None
+
+    def crash_replica(self, replica_id: int) -> None:
+        self._require_replica(replica_id)
+        if not self._alive[replica_id]:
+            return
+        self._alive[replica_id] = False
+        self._event("membership.replica_crash", replica=replica_id)
+        self._count("membership.replica_crashes")
+
+    def restore_replica(self, replica_id: int) -> None:
+        """Bring a crashed replica back; the service re-syncs its key."""
+        self._require_replica(replica_id)
+        if self._alive[replica_id]:
+            return
+        self._alive[replica_id] = True
+        current = self.chain.current
+        self._replicas[replica_id].rekey(current.key, current.number)
+        self._event("membership.replica_restore", replica=replica_id)
+
+    def _require_replica(self, replica_id: int) -> None:
+        if replica_id not in self._replicas:
+            raise KeyError(f"no provisioner replica {replica_id}")
+
+    def set_fault_hook(self, hook: Optional[Callable[[], Optional[str]]]) -> None:
+        """Install a provisioning fault hook on every replica."""
+        for replica_id in sorted(self._replicas):
+            self._replicas[replica_id].set_fault_hook(hook)
+
+    def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
+        self._telemetry = telemetry
+        for replica_id in sorted(self._replicas):
+            self._replicas[replica_id].set_telemetry(telemetry)
+
+    # -- quorum provisioning -------------------------------------------------
+
+    def provision(self, quote: "Quote", enclave_public_key) -> bytes:
+        """Attest ``quote`` at a quorum of replicas, then release the key.
+
+        Each alive replica runs the full verification pipeline (fault
+        gate, key binding, attestation).  Once a majority of the
+        *configured* replica count approves, the lowest approving replica
+        releases the epoch-tagged key; too many crashed replicas means
+        the quorum is unreachable and provisioning fails outright.
+        """
+        alive = self.alive_replica_ids()
+        needed = self.quorum_size()
+        if len(alive) < needed:
+            raise ProvisioningError(
+                f"provisioning quorum unreachable: "
+                f"{len(alive)} replica(s) alive, {needed} required"
+            )
+        approvals: List[int] = []
+        last_error: Optional[ProvisioningError] = None
+        for replica_id in alive:
+            try:
+                self._replicas[replica_id].verify(quote, enclave_public_key)
+            except ProvisioningError as error:
+                last_error = error
+                continue
+            approvals.append(replica_id)
+            if len(approvals) >= needed:
+                break
+        if len(approvals) < needed:
+            raise ProvisioningError(
+                f"provisioning quorum not reached: "
+                f"{len(approvals)}/{needed} approvals"
+            ) from last_error
+        primary = approvals[0]
+        self._event(
+            "membership.provision",
+            node=quote.device_id,
+            primary=primary,
+            approvals=len(approvals),
+            epoch=self.chain.current.number,
+        )
+        return self._replicas[primary].release(
+            enclave_public_key, device_id=quote.device_id
+        )
+
+    # -- epochs and the membership log --------------------------------------
+
+    def rotate(self, round_number: int, reason: str = "scheduled") -> KeyEpoch:
+        """Advance the epoch, re-key every replica, log the rotation."""
+        epoch = self.chain.rotate(round_number, reason=reason)
+        for replica_id in sorted(self._replicas):
+            self._replicas[replica_id].rekey(epoch.key, epoch.number)
+        self.log.append("rotate", -1, epoch.number, round_number)
+        self._count("membership.rotations", reason=reason)
+        self._gauge("membership.epoch", epoch.number)
+        self._event(
+            "membership.rotate", epoch=epoch.number, reason=reason
+        )
+        return epoch
+
+    def revoke(self, node_id: int, round_number: int) -> KeyEpoch:
+        """Revoke a trusted device and force a re-key.
+
+        The revocation record is logged under the epoch being retired,
+        then the forced rotation appends its own record — every view that
+        learns the new epoch has necessarily seen the revocation first.
+        """
+        if node_id in self._revoked:
+            return self.chain.current
+        self._attestation.revoke_device(node_id)
+        self._revoked.append(node_id)
+        if node_id in self._members:
+            self._members.remove(node_id)
+        self.log.append("revoke", node_id, self.chain.current.number, round_number)
+        self._count("membership.revocations")
+        self._event("membership.revoke", node=node_id)
+        return self.rotate(round_number, reason="revocation")
+
+    def join(self, node_id: int, round_number: int) -> None:
+        if node_id in self._revoked:
+            raise ProvisioningError(f"device {node_id} is revoked")
+        if node_id not in self._members:
+            self._members.append(node_id)
+        self.log.append("join", node_id, self.chain.current.number, round_number)
+        self._count("membership.joins")
+        self._event("membership.join", node=node_id)
+
+    def leave(
+        self, node_id: int, round_number: int, rotate: bool = True
+    ) -> None:
+        if node_id in self._members:
+            self._members.remove(node_id)
+        self.log.append("leave", node_id, self.chain.current.number, round_number)
+        self._count("membership.leaves")
+        self._event("membership.leave", node=node_id)
+        if rotate:
+            self.rotate(round_number, reason="leave")
+
+    def bootstrap_member(self, node_id: int) -> None:
+        """Register a bootstrap-time member without a log record."""
+        if node_id not in self._members:
+            self._members.append(node_id)
+        if node_id not in self._bootstrap_roster:
+            self._bootstrap_roster.append(node_id)
+
+    def members(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._members))
+
+    def revoked(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._revoked))
+
+    def is_revoked(self, node_id: int) -> bool:
+        return node_id in self._revoked
+
+    def new_view(self, node_id: int) -> NodeMembershipView:
+        """A fully caught-up view for a freshly provisioned member.
+
+        Seeded from the *bootstrap* roster and replayed through the full
+        log, so it lands byte-for-byte on the state every incrementally
+        maintained view converges to.
+        """
+        view = NodeMembershipView(node_id, self.log)
+        view.bootstrap(sorted(self._bootstrap_roster))
+        view.catch_up()
+        return view
+
+    # -- telemetry helpers ---------------------------------------------------
+
+    def _count(self, name: str, **labels) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter(name, **labels).inc()
+
+    def _gauge(self, name: str, value: float) -> None:
+        if self._telemetry is not None:
+            self._telemetry.gauge(name).set(value)
+
+    def _event(self, name: str, **fields) -> None:
+        if self._telemetry is not None:
+            self._telemetry.event(name, **fields)

@@ -7,6 +7,15 @@ the enclave, binds the public key into an attestation quote's report data,
 and submits both.  The provisioner verifies the quote (device genuine,
 measurement trusted, binding intact) and returns K_T encrypted under the
 enclave key — so K_T never exists in untrusted memory.
+
+With group-key epochs (:mod:`repro.membership.epoch`), the provisioner can
+be re-keyed: epoch 0 releases the bare 16-byte bootstrap key (byte-for-byte
+the legacy payload), later epochs prefix the key with its 8-byte big-endian
+epoch number so the enclave knows which generation it holds.  The
+verification pipeline is split into :meth:`GroupKeyProvisioner.verify`
+(attest only) and :meth:`GroupKeyProvisioner.release` (emit the encrypted
+key) so a replicated service can collect a quorum of verifications and have
+exactly one replica release.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ class GroupKeyProvisioner:
             raise ValueError("group key must be a 16-byte AES key")
         self._attestation = attestation
         self._group_key = group_key
+        self._epoch = 0
         self._rng = rng
         self._fault_hook: Optional[Callable[[], Optional[str]]] = None
         self.provisioned_count = 0
@@ -60,8 +70,22 @@ class GroupKeyProvisioner:
         """
         self._fault_hook = hook
 
-    def provision(self, quote: Quote, enclave_public_key: RsaPublicKey) -> bytes:
-        """Verify attestation and return Enc_RSA(K_T) for the enclave key.
+    @property
+    def epoch(self) -> int:
+        """The group-key epoch this provisioner currently releases."""
+        return self._epoch
+
+    def rekey(self, group_key: bytes, epoch: int) -> None:
+        """Install a rotated group key (see :mod:`repro.membership.epoch`)."""
+        if len(group_key) != 16:
+            raise ValueError("group key must be a 16-byte AES key")
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        self._group_key = group_key
+        self._epoch = epoch
+
+    def verify(self, quote: Quote, enclave_public_key: RsaPublicKey) -> None:
+        """Run the full verification pipeline without releasing the key.
 
         Raises :class:`ProvisioningError` if the quote does not verify or if
         ``enclave_public_key`` is not the key bound into the quote.
@@ -81,6 +105,20 @@ class GroupKeyProvisioner:
         except AttestationError as error:
             self._record("failed", node=quote.device_id, reason="attestation")
             raise ProvisioningError(f"attestation failed: {error}") from error
+
+    def release(
+        self, enclave_public_key: RsaPublicKey, device_id: Optional[int] = None
+    ) -> bytes:
+        """Encrypt the (epoch-tagged) group key to an already-verified enclave."""
         self.provisioned_count += 1
-        self._record("ok", node=quote.device_id)
-        return enclave_public_key.encrypt(self._group_key, self._rng)
+        self._record("ok", node=device_id)
+        if self._epoch == 0:
+            payload = self._group_key  # legacy byte-identical wire format
+        else:
+            payload = self._epoch.to_bytes(8, "big") + self._group_key
+        return enclave_public_key.encrypt(payload, self._rng)
+
+    def provision(self, quote: Quote, enclave_public_key: RsaPublicKey) -> bytes:
+        """Verify attestation and return Enc_RSA(K_T) for the enclave key."""
+        self.verify(quote, enclave_public_key)
+        return self.release(enclave_public_key, device_id=quote.device_id)

@@ -82,6 +82,9 @@ class Network:
         self._transport_secret = transport_secret
         self._pair_keys: Dict[Tuple[int, int], bytes] = {}
         self._pair_ciphers: Dict[Tuple[int, int], AES128] = {}
+        # Group-key-epoch salt (see repro.membership): b"" reproduces the
+        # legacy pair-key derivation byte for byte.
+        self._pair_salt = b""
         self._nonce_counter = 0
         self._fault_hook: Optional[FaultHook] = None
         self._stats = NetworkStats()
@@ -201,11 +204,28 @@ class Network:
 
     # -- encryption ------------------------------------------------------------
 
+    def rekey_pairs(self, salt: bytes) -> None:
+        """Re-derive every per-pair transport key under a new salt.
+
+        Called on a group-key-epoch rotation: both memo layers (the derived
+        keys *and* the expanded cipher contexts built from them) are
+        invalidated, so no message is ever protected by key material tied
+        to a retired epoch.
+        """
+        self._pair_salt = salt
+        self._pair_keys.clear()
+        self._pair_ciphers.clear()
+
     def _pair_key(self, a: int, b: int) -> bytes:
         pair = (a, b) if a <= b else (b, a)
         key = self._pair_keys.get(pair)
         if key is None:
-            info = b"pair" + pair[0].to_bytes(8, "big") + pair[1].to_bytes(8, "big")
+            info = (
+                b"pair"
+                + pair[0].to_bytes(8, "big")
+                + pair[1].to_bytes(8, "big")
+                + self._pair_salt
+            )
             key = hkdf(self._transport_secret, info, length=16)
             self._pair_keys[pair] = key
         return key

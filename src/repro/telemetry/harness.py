@@ -91,6 +91,11 @@ def wire_telemetry(
     if bundle.infrastructure is not None:
         bundle.infrastructure.attestation.set_telemetry(telemetry)
         bundle.infrastructure.provisioner.set_telemetry(telemetry)
+    if bundle.membership is not None:
+        # Covers every provisioner replica (replica 0 is the legacy
+        # provisioner wired above — set_telemetry is idempotent) plus the
+        # membership counters and gauges.
+        bundle.membership.set_telemetry(telemetry)
     observer = TelemetryObserver(telemetry)
     bundle.telemetry = telemetry
     bundle.telemetry_observer = observer

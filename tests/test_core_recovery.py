@@ -198,6 +198,60 @@ class TestBootstrapRetry:
             infrastructure.new_trusted_enclave(7, retry=RetryPolicy())
 
 
+class TestFailureCauseChaining:
+    """Exhausted retries must surface *why* the last attempt failed.
+
+    Regression tests: the raised ProvisioningError used to swallow the
+    underlying fault, leaving drills unable to tell an attestation outage
+    from a corrupted key binding.
+    """
+
+    def test_bootstrap_exhaustion_chains_last_fault(self, infrastructure):
+        infrastructure.new_trusted_enclave(6)
+        infrastructure.provisioner.set_fault_hook(lambda: "always down")
+        fresh = infrastructure.reload_enclave(6)
+        with pytest.raises(ProvisioningError) as excinfo:
+            provision_with_retry(
+                infrastructure, fresh,
+                RetryPolicy(max_attempts=3, jitter=0), random.Random(0),
+            )
+        error = excinfo.value
+        assert "provisioning failed after 3 attempt(s)" in str(error)
+        assert "always down" in str(error)
+        assert isinstance(error.__cause__, ProvisioningError)
+        assert "always down" in str(error.__cause__)
+
+    def test_recovery_telemetry_carries_cause_and_detail(
+        self, infrastructure, small_raptee_config
+    ):
+        from repro.telemetry import Telemetry
+
+        simulation, node, manager = make_deployment(
+            infrastructure, small_raptee_config
+        )
+        telemetry = Telemetry()
+        manager.set_telemetry(telemetry)
+        manager.policy = RetryPolicy(base_delay=1, multiplier=1, max_delay=1,
+                                     max_attempts=1, jitter=0)
+        manager.corrupt_sealed_blob(node.node_id)
+        infrastructure.attestation.set_available(False)
+        node.enclave.crash()
+        telemetry.begin_round(1)
+        simulation.round_number = 1
+        manager.tick(simulation)
+        telemetry.end_round(alive_nodes=1)
+
+        # The outage's AttestationError arrives wrapped by the provisioner;
+        # the detail string keeps the underlying outage visible.
+        (failed,) = telemetry.trace.named("recovery.failed_attempts")
+        assert failed.fields["cause"] == "ProvisioningError"
+        assert "unavailable" in str(failed.fields["detail"])
+        (exhausted,) = telemetry.trace.named("recovery.exhausted")
+        assert exhausted.fields["cause"] == "ProvisioningError"
+        assert "unavailable" in str(exhausted.fields["detail"])
+        assert manager._states[node.node_id].last_cause == "ProvisioningError"
+
+
 class TestNodeDegradation:
     def test_note_enclave_failure_is_trusted_only(self, small_raptee_config):
         node = RapteeNode(3, NodeKind.HONEST, small_raptee_config, random.Random(3))

@@ -10,8 +10,10 @@ Pinned scenarios cover the state families the snapshot must carry:
 the Brahms baseline under message loss, RAPTEE with encrypted transport
 (per-pair key caches + nonce counter), RAPTEE under an active fault plan
 with an in-flight crash (injector revive schedule, enclave recovery,
-telemetry mid-window), and churn with arrivals (node factory and the
-engine's ID allocator).
+telemetry mid-window), churn with arrivals (node factory and the
+engine's ID allocator), and RAPTEE with dynamic trusted-set membership
+checkpointed *mid-rotation* (epoch chain, membership log, per-node view
+lag, degraded-awaiting-re-attestation recovery state).
 """
 
 from __future__ import annotations
@@ -33,7 +35,16 @@ from repro.experiments.scenarios import (
     build_raptee_simulation,
 )
 from repro.faults.harness import wire_faults
-from repro.faults.plan import CrashRestartFault, FaultPlan, LossBurstFault, RoundWindow
+from repro.faults.plan import (
+    AttestationOutageFault,
+    CrashRestartFault,
+    DeviceRevocationFault,
+    EpochRotationFault,
+    FaultPlan,
+    LossBurstFault,
+    RoundWindow,
+)
+from repro.membership import MembershipConfig
 from repro.sim.churn import UniformChurn
 from repro.snapshot import RunState, restore, save
 from repro.telemetry import (
@@ -133,11 +144,45 @@ def _build_churn():
                     rounds_total=ROUNDS, label="brahms-churn")
 
 
+def _build_raptee_membership():
+    spec = TopologySpec(
+        n_nodes=40, byzantine_fraction=0.10, trusted_fraction=0.15,
+        view_ratio=0.10, transport_encryption=True,
+    )
+    # Gossip throttled to one service contact and one anti-entropy peer per
+    # round, so the membership log is still propagating when the state
+    # crosses the save/restore seam.
+    membership = MembershipConfig(
+        service_contacts=1, gossip_fanout=1,
+        join_rate=0.10, leave_rate=0.05, rotate_on_leave=False,
+    )
+    bundle = build_raptee_simulation(
+        spec, seed=53, eviction=AdaptiveEviction(), membership=membership
+    )
+    _wire(bundle)
+    plan = FaultPlan([
+        # The rotation lands one round before the checkpoint, inside an
+        # attestation outage: every trusted enclave is degraded on a stale
+        # epoch and mid-backoff at the checkpoint round, so the pending
+        # epoch, the recovery ladder, and the re-keyed per-pair transport
+        # keys all have to survive the seam.  The revocation fires after
+        # the resume and must propagate through the restored log.
+        EpochRotationFault(at_round=2),
+        AttestationOutageFault(RoundWindow(2, 4)),
+        DeviceRevocationFault(node_id=4, at_round=4),
+    ])
+    harness = wire_faults(bundle, plan, seed=53)
+    return RunState(simulation=bundle.simulation, bundle=bundle,
+                    fault_harness=harness, rounds_total=ROUNDS,
+                    label="raptee-membership")
+
+
 _SCENARIOS = {
     "brahms-baseline": _build_brahms,
     "raptee-encrypted": _build_raptee_encrypted,
     "raptee-faults": _build_raptee_faults,
     "brahms-churn": _build_churn,
+    "raptee-membership": _build_raptee_membership,
 }
 
 
@@ -233,3 +278,60 @@ def test_fault_scenario_crash_spans_checkpoint():
     assert state.fault_harness.injector._revive_at, \
         "expected a pending revive at the checkpoint round"
     assert not state.simulation.nodes[5].alive
+
+
+def test_membership_checkpoint_mid_rotation_restores_pending_epoch(tmp_path):
+    """A checkpoint taken mid-rotation restores the pending epoch exactly.
+
+    At the checkpoint round the rotation has happened at the service but
+    the trusted set has not absorbed it: enclaves are degraded awaiting
+    re-attestation (the outage spans the seam) and the membership log is
+    still gossiping.  Restoring must reproduce the epoch chain, the log,
+    and every node's view position bit for bit — and the rotation must
+    then complete on the resumed state.
+    """
+    state = _SCENARIOS["raptee-membership"]()
+    state.run_chunk(CHECKPOINT_AT)
+    director = state.bundle.membership
+    service = director.service
+    current = service.chain.current
+    assert current.number >= 1, "rotation should precede the checkpoint"
+    degraded = [
+        node_id for node_id in sorted(director.views)
+        if state.simulation.nodes[node_id].degraded
+    ]
+    assert degraded, "the rotation should still be pending at the checkpoint"
+
+    snapshot_path = tmp_path / "membership-mid-rotation.snapshot"
+    save(state, str(snapshot_path))
+    resumed = restore(str(snapshot_path))
+    rservice = resumed.bundle.membership.service
+
+    assert rservice.chain.current.number == current.number
+    assert rservice.chain.current.key == current.key
+    assert rservice.chain.revoked_epochs() == service.chain.revoked_epochs()
+    assert rservice.log.latest_seq == service.log.latest_seq
+    assert [record.digest for record in rservice.log.records] == \
+        [record.digest for record in service.log.records]
+    assert {
+        node_id: (view.applied_seq, view.current_epoch)
+        for node_id, view in resumed.bundle.membership.views.items()
+    } == {
+        node_id: (view.applied_seq, view.current_epoch)
+        for node_id, view in director.views.items()
+    }
+
+    # The pending rotation completes on the restored state: once the
+    # outage lifts, every surviving trusted node re-attests into the
+    # current epoch (node 4's device is revoked mid-resume and stays out).
+    resumed.run_chunk(resumed.rounds_remaining)
+    rdirector = resumed.bundle.membership
+    final = rdirector.service.chain.current.number
+    recovered = [
+        node_id for node_id in sorted(rdirector.views)
+        if node_id in resumed.simulation.nodes
+        and resumed.simulation.nodes[node_id].alive
+        and not resumed.simulation.nodes[node_id].degraded
+        and resumed.simulation.nodes[node_id].enclave_epoch == final
+    ]
+    assert recovered, "some trusted node should finish re-attestation"
