@@ -24,6 +24,8 @@ Examples::
 
     python -m repro run --protocol raptee --nodes 300 --f 0.1 --t 0.1
     python -m repro run --nodes 300 --rounds 200 --checkpoint-every 20
+    python -m repro run --engine events --latency-model lognormal:40:0.6 \\
+        --load 40:30 --straggler 0.1:8 --events-trace-out latency.jsonl
     python -m repro run --resume repro-run.snapshot
     python -m repro snapshot info repro-run.snapshot
     python -m repro figure fig9 --scale test
@@ -53,6 +55,8 @@ from repro.experiments.figures import (
     fixed_eviction_figure,
     identification_figure,
     membership_churn_figure,
+    slo_figure,
+    straggler_figure,
     table1_sgx_overhead,
 )
 from repro.experiments.runner import bundle_metrics
@@ -88,6 +92,36 @@ def parse_eviction(value: str) -> EvictionPolicy:
     return FixedEviction(rate)
 
 
+def parse_latency_option(value: str):
+    """argparse type for ``--latency-model`` (see repro.events.latency)."""
+    from repro.events import parse_latency_model
+
+    try:
+        return parse_latency_model(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def parse_load_option(value: str):
+    """argparse type for ``--load`` (see repro.events.load)."""
+    from repro.events import parse_load
+
+    try:
+        return parse_load(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
+def parse_straggler_option(value: str):
+    """argparse type for ``--straggler`` (see repro.events.engine)."""
+    from repro.events import parse_straggler
+
+    try:
+        return parse_straggler(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="RAPTEE reproduction toolkit"
@@ -118,12 +152,37 @@ def build_parser() -> argparse.ArgumentParser:
                             help="restore a snapshot and continue it "
                                  "(topology flags are ignored; state comes "
                                  "from the snapshot)")
+    run_parser.add_argument("--engine", choices=("rounds", "events"),
+                            default="rounds",
+                            help="simulation clock: lockstep rounds (default) "
+                                 "or the event-driven engine (repro.events)")
+    run_parser.add_argument("--latency-model", type=parse_latency_option,
+                            default=None, metavar="SPEC",
+                            help="per-link one-way delay for --engine events: "
+                                 "zero | constant:MS | uniform:LO:HI | "
+                                 "lognormal:MEDIAN:SIGMA (times in ms)")
+    run_parser.add_argument("--load", type=parse_load_option, default=None,
+                            metavar="CLIENTS:RPM",
+                            help="client load for --engine events: active "
+                                 "clients x requests/minute each (e.g. 40:30)")
+    run_parser.add_argument("--straggler", type=parse_straggler_option,
+                            default=None, metavar="FRAC:FACTOR",
+                            help="slow a deterministic node subset under "
+                                 "--engine events (e.g. 0.1:8 = 10%% of "
+                                 "nodes at 8x)")
+    run_parser.add_argument("--tick-interval", type=float, default=1.0,
+                            metavar="SECONDS",
+                            help="round period on the event clock (default 1.0)")
+    run_parser.add_argument("--events-trace-out", default=None, metavar="PATH",
+                            help="write the per-request latency trace (JSON "
+                                 "Lines) of --engine events --load here")
 
     figure_parser = subparsers.add_parser("figure", help="regenerate a paper figure")
     figure_parser.add_argument(
         "figure_id",
         choices=("fig3", "table1", "fig5", "fig6", "fig7", "fig8", "fig9",
-                 "fig10", "fig11", "fig12", "fig13", "churn"),
+                 "fig10", "fig11", "fig12", "fig13", "churn", "slo",
+                 "straggler"),
     )
     figure_parser.add_argument("--scale", choices=sorted(_SCALES), default="test")
 
@@ -216,9 +275,86 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _build_run_bundle(args, protocol: str):
+    spec = TopologySpec(
+        n_nodes=args.nodes,
+        byzantine_fraction=args.f,
+        trusted_fraction=args.t if protocol == "raptee" else 0.0,
+        poisoned_fraction=args.poisoned if protocol == "raptee" else 0.0,
+        view_ratio=args.view_ratio,
+    )
+    if protocol == "brahms":
+        return build_brahms_simulation(spec, args.seed)
+    return build_raptee_simulation(
+        spec, args.seed, eviction=args.eviction,
+        sketch_unbias_enabled=args.sketch_unbias,
+    )
+
+
+def _command_run_events(args) -> int:
+    import json
+
+    from repro.events import ConstantLatency, EventOptions, LatencyConfig
+    from repro.experiments.runner import run_bundle
+    from repro.telemetry import TelemetryConfig, wire_telemetry
+
+    if args.resume or args.checkpoint_every:
+        print("error: --engine events has no snapshot support; use the "
+              "default rounds engine with --resume/--checkpoint-every",
+              file=sys.stderr)
+        return 2
+    rounds = args.rounds if args.rounds is not None else DEFAULT_RUN_ROUNDS
+    bundle = _build_run_bundle(args, args.protocol)
+    wire_telemetry(bundle, TelemetryConfig(tracing=False))
+    options = EventOptions(
+        seed=args.seed,
+        mode="continuous",
+        tick_interval=args.tick_interval,
+        latency=LatencyConfig(default=args.latency_model or ConstantLatency(0.0)),
+        load=args.load,
+        stragglers=args.straggler,
+    )
+    metrics = run_bundle(bundle, rounds, events=options)
+    engine = bundle.events.engine
+    spec = bundle.spec
+    print(f"protocol:           {args.protocol}")
+    print(f"nodes:              {spec.n_nodes} (byz {spec.n_byzantine}, "
+          f"trusted {spec.n_trusted}, poisoned +{spec.n_poisoned})")
+    print(f"rounds:             {rounds}")
+    print(f"engine:             events (continuous, tick "
+          f"{options.tick_interval:g} s)")
+    print(f"latency model:      {options.latency.describe()}")
+    if options.stragglers is not None:
+        print(f"stragglers:         {options.stragglers.describe()}")
+    print(f"cycles:             {engine.cycles} "
+          f"(late {100.0 * engine.late_fraction:.1f}%)")
+    load = engine.load
+    if load is not None:
+        print(f"load:               {load.spec.describe()} -> "
+              f"{load.served} served, {load.failed} failed")
+        print(f"request latency:    p50 {load.latency_percentile_ms(0.50):.1f} ms, "
+              f"p95 {load.latency_percentile_ms(0.95):.1f} ms, "
+              f"p99 {load.latency_percentile_ms(0.99):.1f} ms")
+        print(f"byz samples:        {100.0 * load.byzantine_fraction:.1f}%")
+    print(f"byz IDs in views:   {metrics.resilience_percent:.1f}%")
+    print(f"discovery round:    {metrics.discovery_round if metrics.discovery_round > 0 else 'not reached'}")
+    print(f"stability round:    {metrics.stability_round if metrics.stability_round > 0 else 'not reached'}")
+    if args.events_trace_out:
+        records = [] if load is None else load.records
+        with open(args.events_trace_out, "w", encoding="utf-8") as stream:
+            for record in records:
+                stream.write(json.dumps(record, sort_keys=True))
+                stream.write("\n")
+        print(f"latency trace:      {args.events_trace_out} "
+              f"({len(records)} requests)")
+    return 0
+
+
 def _command_run(args) -> int:
     from repro.snapshot import RunState, restore, run_with_checkpoints
 
+    if args.engine == "events":
+        return _command_run_events(args)
     if args.resume:
         from repro.snapshot import SnapshotError
 
@@ -236,20 +372,7 @@ def _command_run(args) -> int:
     else:
         protocol = args.protocol
         rounds = args.rounds if args.rounds is not None else DEFAULT_RUN_ROUNDS
-        spec = TopologySpec(
-            n_nodes=args.nodes,
-            byzantine_fraction=args.f,
-            trusted_fraction=args.t if protocol == "raptee" else 0.0,
-            poisoned_fraction=args.poisoned if protocol == "raptee" else 0.0,
-            view_ratio=args.view_ratio,
-        )
-        if protocol == "brahms":
-            bundle = build_brahms_simulation(spec, args.seed)
-        else:
-            bundle = build_raptee_simulation(
-                spec, args.seed, eviction=args.eviction,
-                sketch_unbias_enabled=args.sketch_unbias,
-            )
+        bundle = _build_run_bundle(args, protocol)
         state = RunState(
             simulation=bundle.simulation, bundle=bundle, label=protocol
         )
@@ -301,6 +424,8 @@ def _command_figure(args) -> int:
             policies=(AdaptiveEviction(),)),
         "fig13": lambda: figure13_poisoned_injection(scale),
         "churn": lambda: membership_churn_figure(scale),
+        "slo": lambda: slo_figure(scale),
+        "straggler": lambda: straggler_figure(scale),
     }
     result = builders[args.figure_id]()
     print(result.render())

@@ -1,0 +1,56 @@
+"""Event-driven continuous-time simulation over the round-based core.
+
+The round engine (:mod:`repro.sim.engine`) is lockstep: every node acts
+once per global round.  This package generalises it to a deterministic
+discrete-event simulation — a seeded event queue with a FIFO tie-break,
+per-link latency models, latency-stretched per-node gossip cycles, and a
+client load generator — while keeping the round engine as a provable
+special case: barrier mode with zero-latency links reproduces the round
+engine's trace JSONL, metrics CSV and final views byte-for-byte.
+
+Entry points: build a bundle with the scenario builders, then
+:func:`~repro.events.harness.wire_events` (after telemetry/faults) and
+run the returned harness; or ``repro run --engine events`` on the CLI.
+"""
+
+from repro.events.engine import (
+    EventEngine,
+    EventOptions,
+    StragglerProfile,
+    parse_straggler,
+)
+from repro.events.harness import EventHarness, wire_events
+from repro.events.latency import (
+    ConstantLatency,
+    LatencyConfig,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+    parse_latency_model,
+)
+from repro.events.load import LoadGenerator, LoadSpec, parse_load, percentile
+from repro.events.network import EventRoundContext, LatencyNetwork
+from repro.events.queue import Event, EventQueue
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "LatencyConfig",
+    "parse_latency_model",
+    "LatencyNetwork",
+    "EventRoundContext",
+    "LoadSpec",
+    "LoadGenerator",
+    "parse_load",
+    "percentile",
+    "StragglerProfile",
+    "parse_straggler",
+    "EventOptions",
+    "EventEngine",
+    "EventHarness",
+    "wire_events",
+]

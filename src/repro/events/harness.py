@@ -1,0 +1,55 @@
+"""Wiring: attach the event-driven engine to a built simulation bundle.
+
+:func:`wire_events` is the one-call entry point, symmetric with
+:func:`repro.telemetry.harness.wire_telemetry` and
+:func:`repro.faults.harness.wire_faults`:
+
+1. wire telemetry first (if wanted) — the engine, latency adapter and
+   load generator pick the hub up from the simulation;
+2. wire faults second (if wanted) — the installed
+   :class:`~repro.sim.engine.FaultController` fires at every round-open
+   boundary on the event clock, which also drives membership gossip;
+3. wire events last and call :meth:`EventHarness.run`.
+
+The harness drives the bundle's standard observer stack (view trace,
+discovery, telemetry observer) at round boundaries, so every downstream
+metric — resilience, discovery round, stability — reads identically to a
+round-engine run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.events.engine import EventEngine, EventOptions
+from repro.events.load import LoadGenerator
+from repro.experiments.scenarios import SimulationBundle
+
+__all__ = ["EventHarness", "wire_events"]
+
+
+@dataclass
+class EventHarness:
+    """A bundle with the event engine attached, ready to run."""
+
+    bundle: SimulationBundle
+    options: EventOptions
+    engine: EventEngine
+
+    @property
+    def load(self) -> Optional[LoadGenerator]:
+        return self.engine.load
+
+    def run(self, rounds: int, extra_observers: Sequence = ()) -> None:
+        self.engine.run(
+            rounds, observers=self.bundle.observer_stack(extra_observers)
+        )
+
+
+def wire_events(bundle: SimulationBundle, options: EventOptions) -> EventHarness:
+    """Attach an :class:`EventEngine` to a built simulation bundle."""
+    engine = EventEngine(bundle.simulation, options)
+    harness = EventHarness(bundle=bundle, options=options, engine=engine)
+    bundle.events = harness
+    return harness

@@ -1,0 +1,185 @@
+"""Per-link latency models for the event-driven engine.
+
+A :class:`LatencyModel` turns an RNG into a one-way delay in seconds.
+Three shapes cover the usual WAN abstractions (AsyncFlow's ``Edge`` uses
+the same trio):
+
+* :class:`ConstantLatency` — fixed delay; consumes **zero** RNG draws, so
+  the zero-latency configuration used by barrier mode leaves every
+  seeded stream untouched;
+* :class:`UniformLatency` — uniform on ``[low, high]``;
+* :class:`LogNormalLatency` — heavy-tailed, parameterised by the median
+  and the log-space sigma (the paper-friendly parameterisation: the
+  median survives the exponentiation, unlike the mean).
+
+All stochastic models draw through methods backed purely by
+``rng.random()`` (``lognormvariate`` / direct uniform scaling) — never
+``gauss``, whose cached spare value lives outside
+:class:`~repro.crypto.prng.Sha256Prng`'s checkpointable state.
+
+A :class:`LatencyConfig` assigns models to links: one pairwise default
+plus optional directed per-edge overrides, so a topology can single out
+specific links (a transatlantic edge, a straggler's uplink) without
+enumerating every pair.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = [
+    "LatencyModel",
+    "ConstantLatency",
+    "UniformLatency",
+    "LogNormalLatency",
+    "LatencyConfig",
+    "parse_latency_model",
+]
+
+
+class LatencyModel:
+    """One-way link delay distribution (seconds)."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+    @property
+    def is_zero(self) -> bool:
+        """True when every sample is exactly 0.0 **and** sampling draws
+        nothing from the RNG — the barrier-mode equivalence requirement."""
+        return False
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Fixed one-way delay; ``ConstantLatency(0.0)`` is the zero link."""
+
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("latency must be non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        return self.seconds
+
+    @property
+    def is_zero(self) -> bool:
+        return self.seconds == 0.0
+
+    def describe(self) -> str:
+        if self.is_zero:
+            return "zero"
+        return f"constant {1000.0 * self.seconds:g} ms"
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Uniform one-way delay on ``[low, high]`` seconds."""
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError("uniform latency needs 0 <= low <= high")
+
+    def sample(self, rng: random.Random) -> float:
+        # One random() draw, scaled by hand: uniform(a, b) is equivalent
+        # but spelling it out pins the draw count to exactly one.
+        return self.low + (self.high - self.low) * rng.random()
+
+    def describe(self) -> str:
+        return f"uniform {1000.0 * self.low:g}-{1000.0 * self.high:g} ms"
+
+
+@dataclass(frozen=True)
+class LogNormalLatency(LatencyModel):
+    """Log-normal one-way delay with the given median (seconds).
+
+    ``sigma`` is the standard deviation of the underlying normal; the
+    distribution's median is ``median`` exactly and its tail weight grows
+    with sigma (p95 ≈ median·e^{1.64σ}).
+    """
+
+    median: float
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValueError("log-normal median must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, rng: random.Random) -> float:
+        # lognormvariate goes through normalvariate, which rejection-samples
+        # from random() only — no hidden gauss spare-value state.
+        return rng.lognormvariate(math.log(self.median), self.sigma)
+
+    def describe(self) -> str:
+        return f"lognormal median {1000.0 * self.median:g} ms sigma {self.sigma:g}"
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Link-to-model assignment: a pairwise default plus directed overrides.
+
+    Overrides are keyed on the directed edge ``(src, dst)`` — an
+    asymmetric path (slow uplink, fast downlink) is two entries.
+    """
+
+    default: LatencyModel = field(default_factory=ConstantLatency)
+    overrides: Dict[Tuple[int, int], LatencyModel] = field(default_factory=dict)
+
+    def model_for(self, src: int, dst: int) -> LatencyModel:
+        return self.overrides.get((src, dst), self.default)
+
+    def sample(self, src: int, dst: int, rng: random.Random) -> float:
+        return self.model_for(src, dst).sample(rng)
+
+    @property
+    def is_zero(self) -> bool:
+        if not self.default.is_zero:
+            return False
+        return all(model.is_zero for model in self.overrides.values())
+
+    def describe(self) -> str:
+        text = self.default.describe()
+        if self.overrides:
+            text += f" (+{len(self.overrides)} edge overrides)"
+        return text
+
+
+def parse_latency_model(spec: str) -> LatencyModel:
+    """Parse a CLI latency spec into a model.
+
+    Accepted forms (times in **milliseconds**, converted here)::
+
+        zero
+        constant:MS
+        uniform:LOW_MS:HIGH_MS
+        lognormal:MEDIAN_MS:SIGMA
+    """
+    parts = spec.strip().lower().split(":")
+    kind, args = parts[0], parts[1:]
+    try:
+        if kind == "zero" and not args:
+            return ConstantLatency(0.0)
+        if kind == "constant" and len(args) == 1:
+            return ConstantLatency(float(args[0]) / 1000.0)
+        if kind == "uniform" and len(args) == 2:
+            return UniformLatency(float(args[0]) / 1000.0, float(args[1]) / 1000.0)
+        if kind == "lognormal" and len(args) == 2:
+            return LogNormalLatency(float(args[0]) / 1000.0, float(args[1]))
+    except ValueError as error:
+        raise ValueError(f"bad latency spec {spec!r}: {error}") from error
+    raise ValueError(
+        f"bad latency spec {spec!r}: expected zero | constant:MS | "
+        f"uniform:LOW:HIGH | lognormal:MEDIAN:SIGMA (times in ms)"
+    )

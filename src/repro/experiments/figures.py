@@ -41,6 +41,8 @@ __all__ = [
     "identification_figure",
     "figure13_poisoned_injection",
     "membership_churn_figure",
+    "slo_figure",
+    "straggler_figure",
 ]
 
 
@@ -472,4 +474,156 @@ def membership_churn_figure(
                 f"{leaves / repetitions:.1f}",
             ]
         )
+    return result
+
+
+def _histogram_percentile(histogram, quantile: float) -> float:
+    """Smallest bucket bound covering ``quantile`` of the observations.
+
+    Registry histograms are fixed-bucket (no raw samples), so percentiles
+    are upper bounds — deterministic and monotone, which is all the SLO
+    curve needs.  Observations above the last bound report that bound.
+    """
+    if histogram.count == 0:
+        return 0.0
+    target = quantile * histogram.count
+    cumulative = 0
+    for index, bound in enumerate(histogram.buckets):
+        cumulative += histogram.bucket_counts[index]
+        if cumulative >= target:
+            return bound
+    return histogram.buckets[-1]
+
+
+def slo_figure(
+    scale: Scale,
+    loads: Sequence[Tuple[int, float]] = ((10, 30.0), (40, 30.0), (160, 30.0)),
+    latency_spec: str = "lognormal:40:0.6",
+    slo_ms: float = 200.0,
+    byzantine_fraction: float = 0.10,
+    trusted_fraction: float = 0.10,
+) -> FigureResult:
+    """Latency/throughput SLO curve under client load (event engine).
+
+    Sweeps offered load (clients × requests/minute) over one RAPTEE
+    deployment running continuously with per-link latency; every column
+    is computed from the telemetry registry (``load.*`` series), so the
+    figure doubles as an end-to-end check that the event engine's
+    metrics surface is complete.
+    """
+    from repro.events import (
+        EventOptions,
+        LatencyConfig,
+        LoadSpec,
+        parse_latency_model,
+    )
+    from repro.events.network import LATENCY_BUCKETS_MS
+    from repro.telemetry import TelemetryConfig, wire_telemetry
+
+    result = FigureResult(
+        figure_id=f"SLO — sampling latency/throughput (link {latency_spec})",
+        headers=["load", "served", "failed", "p50 ms", "p95 ms",
+                 f"<= {slo_ms:g} ms %", "byz %", "req/s"],
+    )
+    seed = scale.base_seed
+    model = parse_latency_model(latency_spec)
+    for clients, per_minute in loads:
+        spec = TopologySpec(
+            n_nodes=scale.n_nodes,
+            byzantine_fraction=byzantine_fraction,
+            trusted_fraction=trusted_fraction,
+            view_ratio=scale.view_ratio,
+        )
+        bundle = build_raptee_simulation(spec, seed, eviction=AdaptiveEviction())
+        harness = wire_telemetry(bundle, TelemetryConfig(tracing=False))
+        options = EventOptions(
+            seed=seed,
+            mode="continuous",
+            latency=LatencyConfig(default=model),
+            load=LoadSpec(clients, per_minute),
+        )
+        run_bundle(bundle, scale.rounds, events=options)
+        registry = harness.telemetry.registry
+        served = registry.value("load.requests")
+        failed = registry.value("load.failures")
+        byzantine = registry.value("load.byzantine_samples")
+        latency = registry.histogram("load.latency_ms", LATENCY_BUCKETS_MS)
+        within = 0
+        for index, bound in enumerate(latency.buckets):
+            if bound <= slo_ms:
+                within += latency.bucket_counts[index]
+        duration = scale.rounds * options.tick_interval
+        result.rows.append([
+            f"{clients}x{per_minute:g}",
+            f"{served:.0f}",
+            f"{failed:.0f}",
+            f"{_histogram_percentile(latency, 0.50):g}",
+            f"{_histogram_percentile(latency, 0.95):g}",
+            f"{100.0 * within / served if served else 0.0:.1f}",
+            f"{100.0 * byzantine / served if served else 0.0:.1f}",
+            f"{served / duration:.1f}",
+        ])
+    return result
+
+
+def straggler_figure(
+    scale: Scale,
+    profiles: Sequence[Tuple[float, float]] = ((0.0, 1.0), (0.1, 4.0), (0.1, 16.0)),
+    latency_spec: str = "lognormal:40:0.6",
+    byzantine_fraction: float = 0.10,
+    trusted_fraction: float = 0.10,
+) -> FigureResult:
+    """Overlay health vs straggler severity (event engine).
+
+    Each row slows a deterministic subset of nodes by the given factor:
+    their gossip cycles stretch past the round period, they exchange
+    less, and the figure reports what that costs — pollution, late-cycle
+    share, and protocol invariant violations observed at round
+    boundaries by a record-only checker.
+    """
+    from repro.events import (
+        EventOptions,
+        LatencyConfig,
+        StragglerProfile,
+        parse_latency_model,
+        wire_events,
+    )
+    from repro.faults.invariants import InvariantChecker
+
+    result = FigureResult(
+        figure_id=f"Stragglers — overlay health (link {latency_spec})",
+        headers=["stragglers", "byz-in-views %", "cycles", "late %", "violations"],
+    )
+    seed = scale.base_seed
+    model = parse_latency_model(latency_spec)
+    for fraction, slowdown in profiles:
+        spec = TopologySpec(
+            n_nodes=scale.n_nodes,
+            byzantine_fraction=byzantine_fraction,
+            trusted_fraction=trusted_fraction,
+            view_ratio=scale.view_ratio,
+        )
+        bundle = build_raptee_simulation(spec, seed, eviction=AdaptiveEviction())
+        options = EventOptions(
+            seed=seed,
+            mode="continuous",
+            latency=LatencyConfig(default=model),
+            stragglers=(
+                StragglerProfile(fraction, slowdown) if fraction > 0 else None
+            ),
+        )
+        harness = wire_events(bundle, options)
+        checker = InvariantChecker(record_only=True)
+        harness.run(scale.rounds, extra_observers=(checker,))
+        metrics = bundle_metrics(bundle, scale.rounds)
+        engine = harness.engine
+        label = (f"{100.0 * fraction:g}% @ {slowdown:g}x" if fraction > 0
+                 else "none")
+        result.rows.append([
+            label,
+            f"{metrics.resilience_percent:.1f}",
+            f"{engine.cycles}",
+            f"{100.0 * engine.late_fraction:.1f}",
+            f"{len(checker.violations)}",
+        ])
     return result

@@ -47,6 +47,7 @@ from repro.sim.node import NodeKind
 from repro.sim.observers import DiscoveryObserver, ViewTraceObserver
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.events.harness import EventHarness
     from repro.telemetry.harness import TelemetryObserver
     from repro.telemetry.hub import Telemetry
 
@@ -143,13 +144,21 @@ class SimulationBundle:
     #: :class:`~repro.membership.service.MembershipConfig`); ``None`` keeps
     #: the legacy static trusted set, byte-identical with earlier releases.
     membership: Optional[MembershipDirector] = None
+    #: Set by :func:`repro.events.harness.wire_events`; the event-driven
+    #: engine wired over this bundle, when one is attached.
+    events: Optional["EventHarness"] = None
 
-    def run(self, rounds: int, extra_observers: Sequence = ()) -> None:
+    def observer_stack(self, extra_observers: Sequence = ()) -> List:
+        """The per-round observer list every engine drives: metric
+        observers first, the telemetry observer, then any extras."""
         observers = [self.trace, self.discovery]
         if self.telemetry_observer is not None:
             observers.append(self.telemetry_observer)
         observers.extend(extra_observers)
-        self.simulation.run(rounds, observers=observers)
+        return observers
+
+    def run(self, rounds: int, extra_observers: Sequence = ()) -> None:
+        self.simulation.run(rounds, observers=self.observer_stack(extra_observers))
 
 
 def _seed_all_views(nodes: Sequence, membership: List[int], view_size: int,

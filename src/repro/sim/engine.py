@@ -201,6 +201,16 @@ class Simulation:
         """Install (or clear, with ``None``) the round-start fault hook."""
         self._fault_controller = controller
 
+    @property
+    def fault_controller(self) -> Optional[FaultController]:
+        """The installed round-start fault hook, if any.
+
+        Exposed read-only so alternative clocks (the event engine in
+        :mod:`repro.events`) can fire the same hook at their own round
+        boundaries without reaching into a private attribute.
+        """
+        return self._fault_controller
+
     # -- telemetry -------------------------------------------------------------
 
     def set_telemetry(self, telemetry: Optional["Telemetry"]) -> None:
@@ -226,7 +236,13 @@ class Simulation:
 
     # -- execution -------------------------------------------------------------
 
-    def _apply_churn(self) -> None:
+    def apply_churn(self) -> None:
+        """Apply this round's churn events (departures, then arrivals).
+
+        Public because it is part of the per-round boundary work shared
+        with the event-driven engine (:mod:`repro.events`), which opens
+        rounds on its own clock and must run the same membership step.
+        """
         # Only *alive* nodes are candidates for departure and count toward
         # the arrival rate: a crashed (alive=False) node is already out of
         # the protocol, so letting churn "depart" it would silently swallow
@@ -257,7 +273,7 @@ class Simulation:
         self.network.current_round = self.round_number
         if self.telemetry is not None:
             self.telemetry.begin_round(self.round_number)
-        self._apply_churn()
+        self.apply_churn()
         if self._fault_controller is not None:
             with self._phase("faults"):
                 self._fault_controller.on_round_start(self)

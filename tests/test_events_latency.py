@@ -1,0 +1,135 @@
+"""Latency models: seeded determinism, spec parsing, link overrides."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.crypto.prng import Sha256Prng, derive_seed
+from repro.events import (
+    ConstantLatency,
+    LatencyConfig,
+    LogNormalLatency,
+    UniformLatency,
+    parse_latency_model,
+    parse_load,
+    percentile,
+)
+
+
+def _rng(*labels):
+    return Sha256Prng(derive_seed(99, "test", *labels))
+
+
+class TestModels:
+    def test_constant_is_fixed_and_draws_nothing(self):
+        rng = _rng("const")
+        before = rng.getstate()
+        model = ConstantLatency(0.05)
+        assert model.sample(rng) == 0.05
+        assert rng.getstate() == before  # zero RNG draws
+
+    def test_zero_constant_is_zero(self):
+        assert ConstantLatency(0.0).is_zero
+        assert not ConstantLatency(0.001).is_zero
+        assert not UniformLatency(0.0, 0.0).is_zero  # draws from the RNG
+
+    def test_uniform_bounds_and_determinism(self):
+        model = UniformLatency(0.01, 0.03)
+        samples = [model.sample(_rng("u", index)) for index in range(200)]
+        assert all(0.01 <= value <= 0.03 for value in samples)
+        assert samples == [model.sample(_rng("u", index)) for index in range(200)]
+
+    def test_lognormal_median_and_determinism(self):
+        model = LogNormalLatency(0.04, 0.6)
+        rng = _rng("ln")
+        samples = sorted(model.sample(rng) for _ in range(2001))
+        # The empirical median brackets the configured one.
+        assert 0.02 < samples[1000] < 0.08
+        assert all(value > 0 for value in samples)
+        rerun = _rng("ln")
+        assert samples == sorted(model.sample(rerun) for _ in range(2001))
+
+    def test_lognormal_avoids_gauss_state(self):
+        """The draw must round-trip through Sha256Prng's checkpointable
+        state: sample, rewind via getstate/setstate, sample again."""
+        model = LogNormalLatency(0.04, 0.6)
+        rng = _rng("state")
+        saved = rng.getstate()
+        first = model.sample(rng)
+        rng.setstate(saved)
+        assert model.sample(rng) == first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-1.0)
+        with pytest.raises(ValueError):
+            UniformLatency(0.05, 0.01)
+        with pytest.raises(ValueError):
+            LogNormalLatency(0.0, 0.5)
+        with pytest.raises(ValueError):
+            LogNormalLatency(0.04, -0.1)
+
+
+class TestConfig:
+    def test_default_applies_to_every_edge(self):
+        config = LatencyConfig(default=ConstantLatency(0.02))
+        assert config.model_for(1, 2).seconds == 0.02
+        assert config.sample(3, 4, _rng("cfg")) == 0.02
+
+    def test_directed_overrides(self):
+        slow = ConstantLatency(0.5)
+        config = LatencyConfig(
+            default=ConstantLatency(0.0), overrides={(1, 2): slow}
+        )
+        assert config.model_for(1, 2) is slow
+        # Directed: the reverse edge keeps the default.
+        assert config.model_for(2, 1).is_zero
+        assert not config.is_zero
+
+    def test_is_zero_requires_every_model_zero(self):
+        assert LatencyConfig().is_zero
+        assert LatencyConfig(
+            default=ConstantLatency(0.0),
+            overrides={(1, 2): ConstantLatency(0.0)},
+        ).is_zero
+
+
+class TestParsing:
+    def test_specs(self):
+        assert parse_latency_model("zero").is_zero
+        constant = parse_latency_model("constant:25")
+        assert constant.seconds == pytest.approx(0.025)
+        uniform = parse_latency_model("uniform:10:30")
+        assert (uniform.low, uniform.high) == (pytest.approx(0.01), pytest.approx(0.03))
+        lognormal = parse_latency_model("lognormal:40:0.6")
+        assert lognormal.median == pytest.approx(0.04)
+        assert lognormal.sigma == pytest.approx(0.6)
+
+    @pytest.mark.parametrize("bad", [
+        "", "zero:1", "constant", "constant:x", "uniform:10",
+        "uniform:30:10", "lognormal:40", "pareto:1:2", "constant:-5",
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_latency_model(bad)
+
+    def test_load_spec(self):
+        spec = parse_load("40:30")
+        assert (spec.active_clients, spec.requests_per_minute) == (40, 30.0)
+        assert spec.rate_per_second == pytest.approx(0.5)
+        for bad in ("", "40", "40:30:1", "0:30", "40:0", "x:y"):
+            with pytest.raises(ValueError):
+                parse_load(bad)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(value) for value in range(1, 101)]
+        assert percentile(values, 0.50) == 50.0
+        assert percentile(values, 0.95) == 95.0
+        assert percentile(values, 1.00) == 100.0
+        assert percentile([7.0], 0.99) == 7.0
+        assert percentile([], 0.5) == 0.0
+        assert not math.isnan(percentile([1.5, 2.5], 0.01))

@@ -1,0 +1,97 @@
+"""The event queue's ordering contract, especially the FIFO tie-break.
+
+``heapq`` alone is a partial order: entries with equal keys surface in an
+order set by sift history, not insertion.  The queue's ``(time, seq)``
+key makes simultaneity deterministic — two events scheduled for the same
+timestamp drain in the order they were scheduled, whatever else the heap
+held at the time.  These tests pin that contract, including a regression
+built to fail under raw ``heapq`` with time-only keys.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+import pytest
+
+from repro.events import EventQueue
+
+
+def _drain(queue):
+    labels = []
+    while queue:
+        event = queue.pop()
+        labels.append((event.time, event.label))
+    return labels
+
+
+class TestOrdering:
+    def test_orders_by_time(self):
+        queue = EventQueue()
+        queue.schedule(3.0, "c", lambda: None)
+        queue.schedule(1.0, "a", lambda: None)
+        queue.schedule(2.0, "b", lambda: None)
+        assert _drain(queue) == [(1.0, "a"), (2.0, "b"), (3.0, "c")]
+
+    def test_same_timestamp_drains_in_insertion_order(self):
+        queue = EventQueue()
+        for index in range(50):
+            queue.schedule(1.0, f"e{index}", lambda: None)
+        assert [label for _, label in _drain(queue)] == [
+            f"e{index}" for index in range(50)
+        ]
+
+    def test_tiebreak_survives_interleaved_scheduling(self):
+        """Equal-time events stay FIFO even when scheduled around other
+        timestamps that churn the heap's internal layout."""
+        queue = EventQueue()
+        rng = random.Random(42)
+        expected = []
+        for index in range(200):
+            queue.schedule(5.0, f"tied{index}", lambda: None)
+            expected.append(f"tied{index}")
+            # Interleave earlier/later events to force sift operations.
+            queue.schedule(rng.uniform(0.0, 4.9), "early", lambda: None)
+            queue.schedule(rng.uniform(5.1, 10.0), "late", lambda: None)
+        drained = [label for _, label in _drain(queue) if label.startswith("tied")]
+        assert drained == expected
+
+    def test_raw_heapq_would_not_give_fifo(self):
+        """Documents why the seq key exists: with time-only keys plus an
+        arbitrary payload-ordering fallback, heapq's equal-key order is
+        not insertion order under interleaved pushes."""
+        heap = []
+        for index in range(200):
+            # Payload carries a *descending* tag so any payload-based
+            # comparison fallback visibly diverges from FIFO.
+            heapq.heappush(heap, (5.0, 200 - index))
+            heapq.heappush(heap, (float(index % 5), -index))
+        tags = [tag for time, tag in
+                (heapq.heappop(heap) for _ in range(len(heap))) if time == 5.0]
+        assert tags != [200 - index for index in range(200)]
+
+    def test_pop_empty_raises(self):
+        queue = EventQueue()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_negative_time_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(ValueError):
+            queue.schedule(-0.1, "x", lambda: None)
+
+    def test_peek_does_not_consume(self):
+        queue = EventQueue()
+        queue.schedule(2.0, "b", lambda: None)
+        queue.schedule(1.0, "a", lambda: None)
+        assert queue.peek().label == "a"
+        assert len(queue) == 2
+
+    def test_seq_counter_is_global_and_monotonic(self):
+        queue = EventQueue()
+        first = queue.schedule(9.0, "x", lambda: None)
+        queue.pop()
+        second = queue.schedule(1.0, "y", lambda: None)
+        assert second.seq > first.seq
+        assert queue.scheduled_total == 2
