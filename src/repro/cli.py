@@ -18,7 +18,9 @@ Three commands cover the common workflows:
 * ``lint`` — run the :mod:`repro.lint` invariant checks (determinism,
   enclave boundary, crypto hygiene, sim purity);
 * ``bench`` — run the pinned performance scenarios (:mod:`repro.perf`)
-  and write the ``BENCH_perf.json`` regression report.
+  and write the ``BENCH_perf.json`` regression report;
+* ``vectors`` — generate/verify the conformance vector suite
+  (forwards to ``python -m repro.scenario``).
 
 Examples::
 
@@ -35,6 +37,8 @@ Examples::
     python -m repro trace --nodes 50 --rounds 30 --seed 7 --out trace.jsonl
     python -m repro lint src tests --format json
     python -m repro bench --smoke --out BENCH_perf.json
+    python -m repro vectors generate
+    python -m repro vectors verify --report drift.json
 """
 
 from __future__ import annotations
@@ -250,6 +254,15 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "lint_args", nargs=argparse.REMAINDER,
         help="arguments forwarded to python -m repro.lint",
+    )
+
+    vectors_parser = subparsers.add_parser(
+        "vectors",
+        help="generate/verify conformance vectors (see repro.scenario)",
+    )
+    vectors_parser.add_argument(
+        "vectors_args", nargs=argparse.REMAINDER,
+        help="arguments forwarded to python -m repro.scenario",
     )
 
     bench_parser = subparsers.add_parser(
@@ -524,6 +537,12 @@ def _command_lint(args) -> int:
     return lint_main(args.lint_args)
 
 
+def _command_vectors(args) -> int:
+    from repro.scenario.cli import main as vectors_main
+
+    return vectors_main(args.vectors_args)
+
+
 def _command_bench(args) -> int:
     import json
 
@@ -558,6 +577,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "trace": _command_trace,
         "snapshot": _command_snapshot,
         "lint": _command_lint,
+        "vectors": _command_vectors,
         "bench": _command_bench,
     }
     return handlers[args.command](args)

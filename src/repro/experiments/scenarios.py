@@ -102,6 +102,20 @@ class TopologySpec:
                 raise ValueError(f"{name} must be in [0, 1)")
         if self.byzantine_fraction + self.trusted_fraction >= 1.0:
             raise ValueError("Byzantine + trusted fractions must leave honest nodes")
+        if not 0.0 < self.view_ratio < 1.0:
+            raise ValueError("view_ratio must be in (0, 1)")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        # The derived view (BrahmsConfig.scaled: max(8, round(N·ratio)))
+        # must stay below N, or the uniform bootstrap would be asked for
+        # more distinct peers than exist and seed views with duplicates.
+        derived_view = max(8, int(round(self.n_nodes * self.view_ratio)))
+        if derived_view >= self.n_nodes:
+            raise ValueError(
+                f"view_ratio {self.view_ratio} derives view size {derived_view} "
+                f">= n_nodes {self.n_nodes}; views must be smaller than the "
+                f"population"
+            )
 
     @property
     def n_byzantine(self) -> int:
@@ -212,8 +226,41 @@ def build_brahms_simulation(
 
     ``config_override`` replaces the spec-derived Brahms parameters — the
     ablation benches use it to sweep γ or disable blocking.
+
+    A thin shim: the call is expressed as a
+    :class:`~repro.scenario.spec.ScenarioSpec` and compiled by
+    :func:`repro.scenario.compile.compile_spec`, so ad-hoc Python callers
+    and declarative spec files share one validated build path (proven
+    byte-identical by ``tests/test_scenario_differential.py``).
     """
+    from repro.scenario.compile import compile_spec
+    from repro.scenario.spec import ScenarioSpec
+
+    return compile_spec(
+        ScenarioSpec(
+            name="adhoc-brahms",
+            protocol="brahms",
+            seed=seed,
+            topology=spec,
+            adversary_strategy=adversary_strategy,
+            brahms=config_override,
+        )
+    )
+
+
+def _build_brahms_impl(
+    spec: TopologySpec,
+    seed: int,
+    adversary_strategy: str = "adaptive_balanced",
+    config_override: Optional[BrahmsConfig] = None,
+) -> SimulationBundle:
+    """The actual Brahms assembly behind :func:`build_brahms_simulation`."""
     config = config_override or spec.brahms_config()
+    if config.view_size >= spec.n_nodes:
+        raise ValueError(
+            f"view_size {config.view_size} must be smaller than "
+            f"n_nodes {spec.n_nodes}"
+        )
     network = Network(_mt(seed, "network"), loss_rate=spec.loss_rate,
                       encrypt=spec.transport_encryption)
 
@@ -281,9 +328,61 @@ def build_raptee_simulation(
     (quorum over K replicas), carry epoch-checked membership views, and a
     :class:`MembershipDirector` rides on the bundle to drive churn,
     rotation, and revocation gossip (ticked by the fault injector).
+
+    A thin shim over :func:`repro.scenario.compile.compile_spec` — see
+    :func:`build_brahms_simulation`.
     """
+    from repro.scenario.compile import compile_spec
+    from repro.scenario.spec import RapteeOptions, ScenarioSpec
+
+    return compile_spec(
+        ScenarioSpec(
+            name="adhoc-raptee",
+            protocol="raptee",
+            seed=seed,
+            topology=spec,
+            adversary_strategy=adversary_strategy,
+            brahms=config_override,
+            raptee=RapteeOptions(
+                eviction=eviction,
+                auth_mode=auth_mode,
+                probe_pulls=probe_pulls,
+                trusted_exchange_enabled=trusted_exchange_enabled,
+                eviction_enabled=eviction_enabled,
+                sketch_unbias_enabled=sketch_unbias_enabled,
+                provisioning_key_bits=provisioning_key_bits,
+                with_cycle_accounting=with_cycle_accounting,
+                cycle_mode=cycle_mode,
+            ),
+            membership=membership,
+        )
+    )
+
+
+def _build_raptee_impl(
+    spec: TopologySpec,
+    seed: int,
+    eviction: EvictionPolicy,
+    auth_mode: str = "hmac",
+    probe_pulls: int = 0,
+    trusted_exchange_enabled: bool = True,
+    eviction_enabled: bool = True,
+    sketch_unbias_enabled: bool = False,
+    provisioning_key_bits: int = 384,
+    with_cycle_accounting: bool = False,
+    cycle_mode: str = "sgx",
+    adversary_strategy: str = "adaptive_balanced",
+    config_override: Optional[BrahmsConfig] = None,
+    membership: Optional[MembershipConfig] = None,
+) -> SimulationBundle:
+    """The actual RAPTEE assembly behind :func:`build_raptee_simulation`."""
     membership_on = membership is not None and membership.enabled
     brahms_config = config_override or spec.brahms_config()
+    if brahms_config.view_size >= spec.n_nodes:
+        raise ValueError(
+            f"view_size {brahms_config.view_size} must be smaller than "
+            f"n_nodes {spec.n_nodes}"
+        )
     raptee_config = RapteeConfig(
         brahms=brahms_config,
         eviction=eviction,

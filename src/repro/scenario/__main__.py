@@ -1,0 +1,8 @@
+"""``python -m repro.scenario`` — conformance vector tooling."""
+
+import sys
+
+from repro.scenario.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

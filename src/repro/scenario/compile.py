@@ -1,0 +1,188 @@
+"""Compile a :class:`~repro.scenario.spec.ScenarioSpec` into runnable parts.
+
+:func:`compile_spec` is the single build path behind both the legacy
+builder functions (now thin shims) and the conformance vector runner: it
+dispatches on the spec's protocol to the shared assembly code in
+:mod:`repro.experiments.scenarios` and attaches the spec's churn plan
+through the engine's public :meth:`~repro.sim.engine.Simulation.set_churn`
+seam.  Because the spec nests the very config objects the assembly code
+consumes, compiling an ad-hoc shim call and compiling the equivalent
+loaded spec run *the same code on the same values* — the byte-identity
+the differential tests pin.
+
+The runtime-only sections (fault plan, engine choice) are translated by
+:func:`fault_plan_from_spec` / :func:`event_options_from_spec` and wired
+by the runner (:mod:`repro.scenario.run`), mirroring the established
+``wire_telemetry`` → ``wire_faults`` → ``wire_events`` order.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.crypto.prng import derive_seed
+from repro.experiments.scenarios import (
+    SimulationBundle,
+    _build_brahms_impl,
+    _build_raptee_impl,
+)
+from repro.scenario.spec import ChurnSpec, RapteeOptions, ScenarioSpec
+from repro.sim.churn import CatastrophicFailure, ChurnModel, NoChurn, UniformChurn
+
+__all__ = [
+    "ArrivalFactory",
+    "churn_model_from_spec",
+    "compile_spec",
+    "event_options_from_spec",
+    "fault_plan_from_spec",
+]
+
+
+class ArrivalFactory:
+    """Module-level (picklable) node factory for churn arrivals.
+
+    Arrivals join as honest nodes of the scenario's protocol, each with
+    its own seed-derived RNG stream and a one-node bootstrap view so it
+    gossips in its join round — the same construction the engine's other
+    arrival paths use, and snapshot-safe by being a plain class.
+    """
+
+    def __init__(self, protocol: str, config, seed: int):
+        self.protocol = protocol
+        self.config = config
+        self.seed = seed
+
+    def __call__(self, node_id: int):
+        from repro.sim.node import NodeKind
+
+        rng = random.Random(derive_seed(self.seed, "node", node_id))
+        if self.protocol == "brahms":
+            from repro.brahms.node import BrahmsNode
+
+            node = BrahmsNode(node_id, NodeKind.HONEST, self.config, rng)
+        else:
+            from repro.core.node import RapteeNode
+
+            node = RapteeNode(node_id, NodeKind.HONEST, self.config, rng)
+        node.seed_view([0])
+        return node
+
+
+def churn_model_from_spec(churn: ChurnSpec) -> Optional[ChurnModel]:
+    """The engine churn model for a churn section (``None`` for 'none')."""
+    if churn.kind == "none":
+        return None
+    if churn.kind == "uniform":
+        return UniformChurn(leave_rate=churn.leave_rate, join_rate=churn.join_rate)
+    if churn.kind == "catastrophic":
+        return CatastrophicFailure(at_round=churn.at_round, fraction=churn.fraction)
+    raise ValueError(f"unknown churn kind {churn.kind!r}")
+
+
+def _honest_node_config(spec: ScenarioSpec, bundle: SimulationBundle):
+    """The config object churn arrivals are built with.
+
+    Taken from a live honest node rather than re-derived, so overrides
+    (``config_override``, RAPTEE feature flags) carry over exactly.
+    """
+    from repro.core.node import RapteeNode
+    from repro.sim.node import NodeKind
+
+    for node in bundle.simulation.nodes.values():
+        if node.kind is not NodeKind.HONEST:
+            continue
+        if spec.protocol == "raptee" and isinstance(node, RapteeNode):
+            return node.raptee_config
+        if spec.protocol == "brahms":
+            return node.config
+    raise ValueError(
+        f"scenario {spec.name!r} has no honest node to model churn arrivals on"
+    )
+
+
+def compile_spec(spec: ScenarioSpec) -> SimulationBundle:
+    """Build the :class:`SimulationBundle` a spec describes.
+
+    Compiles the population/protocol sections; the runtime sections
+    (faults, engine) are wired onto the bundle by the runner so the
+    telemetry → faults → events layering stays explicit.
+    """
+    if spec.protocol == "brahms":
+        bundle = _build_brahms_impl(
+            spec.topology,
+            spec.seed,
+            adversary_strategy=spec.adversary_strategy,
+            config_override=spec.brahms,
+        )
+    else:
+        options = spec.raptee or RapteeOptions()
+        bundle = _build_raptee_impl(
+            spec.topology,
+            spec.seed,
+            eviction=options.eviction,
+            auth_mode=options.auth_mode,
+            probe_pulls=options.probe_pulls,
+            trusted_exchange_enabled=options.trusted_exchange_enabled,
+            eviction_enabled=options.eviction_enabled,
+            sketch_unbias_enabled=options.sketch_unbias_enabled,
+            provisioning_key_bits=options.provisioning_key_bits,
+            with_cycle_accounting=options.with_cycle_accounting,
+            cycle_mode=options.cycle_mode,
+            adversary_strategy=spec.adversary_strategy,
+            config_override=spec.brahms,
+            membership=spec.membership,
+        )
+    churn = churn_model_from_spec(spec.churn)
+    if churn is not None:
+        factory = None
+        if not isinstance(churn, NoChurn) and churn.may_produce_arrivals is not False:
+            factory = ArrivalFactory(
+                spec.protocol, _honest_node_config(spec, bundle), spec.seed
+            )
+        bundle.simulation.set_churn(churn, factory)
+    return bundle
+
+
+def fault_plan_from_spec(spec: ScenarioSpec):
+    """The :class:`~repro.faults.plan.FaultPlan` for a spec's fault list
+    (``None`` when the spec injects no faults)."""
+    if not spec.faults:
+        return None
+    from repro.faults.plan import FaultPlan
+
+    return FaultPlan(list(spec.faults))
+
+
+def event_options_from_spec(spec: ScenarioSpec):
+    """The :class:`~repro.events.EventOptions` for a spec's engine section
+    (``None`` for the classic rounds engine)."""
+    if spec.engine.kind == "rounds":
+        return None
+    from repro.events import (
+        ConstantLatency,
+        EventOptions,
+        LatencyConfig,
+        parse_latency_model,
+        parse_load,
+        parse_straggler,
+    )
+
+    engine = spec.engine
+    latency = (
+        parse_latency_model(engine.latency)
+        if engine.latency is not None
+        else ConstantLatency(0.0)
+    )
+    return EventOptions(
+        seed=spec.seed,
+        mode=engine.mode,
+        tick_interval=engine.tick_interval,
+        latency=LatencyConfig(default=latency),
+        load=parse_load(engine.load) if engine.load is not None else None,
+        stragglers=(
+            parse_straggler(engine.straggler)
+            if engine.straggler is not None
+            else None
+        ),
+    )

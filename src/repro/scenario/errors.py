@@ -1,0 +1,45 @@
+"""Typed errors for the scenario DSL.
+
+Every validation failure in the spec layer raises
+:class:`ScenarioSpecError` carrying the *field path* of the offending
+entry (``"topology.n_nodes"``, ``"faults[2].kind"``, ``"churn.at_round"``),
+so a 300-line spec dict fails with a pointer instead of a bare
+``KeyError`` three stack frames deep.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["ScenarioSpecError", "VectorError", "VectorIntegrityError"]
+
+
+class ScenarioSpecError(ValueError):
+    """A scenario spec is structurally or semantically invalid.
+
+    Attributes:
+        path: dotted/indexed path of the field that failed validation
+            (``None`` when the error is not attributable to one field).
+    """
+
+    def __init__(self, message: str, path: Optional[str] = None):
+        self.path = path
+        super().__init__(f"{path}: {message}" if path else message)
+
+
+class VectorError(RuntimeError):
+    """A conformance vector could not be read, written or verified."""
+
+
+class VectorIntegrityError(VectorError):
+    """A vector's stored content does not match its recorded checksums.
+
+    The message names the corrupted section — integrity failures are
+    distinct from *drift* (a healthy vector whose replay no longer
+    matches), which :func:`repro.scenario.vectors.verify_vector` reports
+    without raising.
+    """
+
+    def __init__(self, message: str, section: Optional[str] = None):
+        self.section = section
+        super().__init__(message)

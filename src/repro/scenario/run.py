@@ -1,0 +1,169 @@
+"""Execute a scenario spec and collect its deterministic surface.
+
+:func:`run_scenario` is the vector generator's and conformance runner's
+shared engine: compile the spec, wire the instrumentation stack in the
+established order (telemetry → faults → events), run, and collect every
+artifact the differential suites treat as the determinism contract —
+full trace JSONL, metrics CSV, per-round view pollution, final views,
+network traffic totals, and the paper's three end metrics.
+
+:func:`artifact_sections` reduces those artifacts to the named, JSON-safe
+sections a conformance vector stores (bulky artifacts shrink to sha256
+digests; the compact ones are kept verbatim so drift reports can show
+*what* changed, not just that something did).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.experiments.runner import RunMetrics, bundle_metrics
+from repro.experiments.scenarios import SimulationBundle
+from repro.scenario.compile import (
+    compile_spec,
+    event_options_from_spec,
+    fault_plan_from_spec,
+)
+from repro.scenario.spec import ScenarioSpec, spec_to_dict
+
+__all__ = ["ScenarioArtifacts", "run_scenario", "artifact_sections"]
+
+
+@dataclass
+class ScenarioArtifacts:
+    """Everything one scenario run produced, pre-canonicalization."""
+
+    spec: ScenarioSpec
+    bundle: SimulationBundle
+    trace_jsonl: str
+    metrics_csv: str
+    final_views: Dict[int, Tuple[int, ...]]
+    metrics: RunMetrics
+    network_totals: Tuple[int, int, int, int, int, int]
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioArtifacts:
+    """Compile and run one spec, returning its full deterministic surface."""
+    if spec.rounds < 1:
+        raise ValueError(
+            f"scenario {spec.name!r} has no round count; only loaded/catalog "
+            f"specs (rounds >= 1) are runnable"
+        )
+    from repro.telemetry import (
+        TelemetryConfig,
+        metrics_to_csv,
+        trace_to_jsonl,
+        wire_telemetry,
+    )
+
+    bundle = compile_spec(spec)
+    telemetry_harness = wire_telemetry(
+        bundle, TelemetryConfig(tracing=True, trace_messages=True, trace_ecalls=True)
+    )
+    plan = fault_plan_from_spec(spec)
+    fault_harness = None
+    if plan is not None:
+        from repro.faults.harness import wire_faults
+
+        fault_harness = wire_faults(bundle, plan, seed=spec.seed)
+    events = event_options_from_spec(spec)
+    if events is not None:
+        from repro.events.harness import wire_events
+
+        wire_events(bundle, events).run(spec.rounds)
+    elif fault_harness is not None:
+        fault_harness.run(spec.rounds)
+    else:
+        bundle.run(spec.rounds)
+
+    telemetry = telemetry_harness.telemetry
+    simulation = bundle.simulation
+    stats = simulation.network.stats
+    return ScenarioArtifacts(
+        spec=spec,
+        bundle=bundle,
+        trace_jsonl=trace_to_jsonl(telemetry.trace.events),
+        metrics_csv=metrics_to_csv(telemetry.registry),
+        final_views={
+            node_id: tuple(node.view_ids())
+            for node_id, node in sorted(simulation.nodes.items())
+        },
+        metrics=bundle_metrics(bundle, spec.rounds),
+        network_totals=(
+            stats.pushes_sent,
+            stats.pushes_delivered,
+            stats.requests_sent,
+            stats.replies_delivered,
+            stats.messages_lost,
+            stats.bytes_encrypted,
+        ),
+    )
+
+
+def _sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _view_trace_section(artifacts: ScenarioArtifacts) -> List[Dict[str, Any]]:
+    """Per-round views, canonicalized to JSON-safe types.
+
+    Node IDs become string keys (JSON objects key on strings); kinds use
+    their enum names.  Values are the exact binary floats the run
+    produced — JSON round-trips them losslessly, so equality is exact.
+    """
+    rows: List[Dict[str, Any]] = []
+    for record in artifacts.bundle.trace.records:
+        rows.append(
+            {
+                "round": record.round_number,
+                "byzantine_fraction": {
+                    str(node_id): fraction
+                    for node_id, fraction in sorted(record.byzantine_fraction.items())
+                },
+                "by_kind": {
+                    kind.name: list(values)
+                    for kind, values in sorted(
+                        record.by_kind.items(), key=lambda item: item[0].name
+                    )
+                },
+            }
+        )
+    return rows
+
+
+def artifact_sections(artifacts: ScenarioArtifacts) -> Dict[str, Any]:
+    """The named sections a conformance vector for this run stores."""
+    trace = artifacts.trace_jsonl
+    metrics_csv = artifacts.metrics_csv
+    return {
+        "spec": spec_to_dict(artifacts.spec),
+        "view_trace": _view_trace_section(artifacts),
+        "final_views": {
+            str(node_id): list(view)
+            for node_id, view in artifacts.final_views.items()
+        },
+        "trace_digest": {
+            "sha256": _sha256_text(trace),
+            "lines": trace.count("\n"),
+        },
+        "metrics_digest": {
+            "sha256": _sha256_text(metrics_csv),
+            "rows": metrics_csv.count("\n"),
+        },
+        "pollution": {
+            "resilience": artifacts.metrics.resilience,
+            "discovery_round": artifacts.metrics.discovery_round,
+            "stability_round": artifacts.metrics.stability_round,
+            "rounds": artifacts.metrics.rounds,
+            "network": {
+                "pushes_sent": artifacts.network_totals[0],
+                "pushes_delivered": artifacts.network_totals[1],
+                "requests_sent": artifacts.network_totals[2],
+                "replies_delivered": artifacts.network_totals[3],
+                "messages_lost": artifacts.network_totals[4],
+                "bytes_encrypted": artifacts.network_totals[5],
+            },
+        },
+    }

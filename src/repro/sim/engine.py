@@ -122,6 +122,26 @@ class Simulation:
         for node in nodes:
             self.add_node(node)
 
+    def set_churn(
+        self,
+        churn: Optional[ChurnModel],
+        node_factory: Optional[Callable[[int], NodeBase]] = None,
+    ) -> None:
+        """Attach (or clear, with ``None``) a churn model after construction.
+
+        Scenario builders assemble the node population first and decide on
+        churn later; this is the supported seam for that — with the same
+        arrivals-need-a-factory validation the constructor applies.
+        """
+        churn = churn or NoChurn()
+        if node_factory is None and churn.may_produce_arrivals:
+            raise ValueError(
+                f"churn model {type(churn).__name__} produces arrivals; "
+                f"a node_factory is required to build the joining nodes"
+            )
+        self._churn = churn
+        self._node_factory = node_factory
+
     # -- membership ------------------------------------------------------------
 
     def add_node(self, node: NodeBase) -> None:

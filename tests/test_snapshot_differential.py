@@ -135,10 +135,12 @@ def _build_churn():
     bundle = build_brahms_simulation(spec, seed=47)
     simulation = bundle.simulation
     config = spec.brahms_config()
-    # The builders run static membership (the paper's setting); graft churn
-    # on for this scenario so arrivals/departures cross the resume seam.
-    simulation._churn = UniformChurn(leave_rate=0.02, join_rate=0.04)
-    simulation._node_factory = _ChurnFactory(config, seed=47)
+    # The builders run static membership (the paper's setting); attach churn
+    # for this scenario so arrivals/departures cross the resume seam.
+    simulation.set_churn(
+        UniformChurn(leave_rate=0.02, join_rate=0.04),
+        _ChurnFactory(config, seed=47),
+    )
     _wire(bundle)
     return RunState(simulation=simulation, bundle=bundle,
                     rounds_total=ROUNDS, label="brahms-churn")
