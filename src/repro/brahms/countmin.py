@@ -107,16 +107,23 @@ class CountMinSketch:
 
     def decay(self, factor: float = 0.5) -> None:
         """Age the sketch (halve counters): keeps the bias estimate focused
-        on the recent stream in a long-running node."""
+        on the recent stream in a long-running node.
+
+        Every counter becomes the *exact* ⌊value · factor⌋ — the factor is
+        expanded to its dyadic rational num/2**shift and applied in integer
+        arithmetic, so large counters never pick up float64 rounding (both
+        backends share the decomposition and agree bit for bit).
+        """
         if not 0.0 < factor < 1.0:
             raise ValueError("factor must be in (0, 1)")
+        num, shift = _kernels.decay_ratio(factor)
         if self.use_numpy:
             _kernels.countmin_decay(self._tables, factor)
         else:
             for table in self._tables:
                 for index, value in enumerate(table):
-                    table[index] = int(value * factor)
-        self.total = int(self.total * factor)
+                    table[index] = _kernels.decay_value(value, num, shift)
+        self.total = _kernels.decay_value(self.total, num, shift)
 
 
 class StreamUnbiaser:

@@ -17,8 +17,10 @@ Three commands cover the common workflows:
   (:mod:`repro.telemetry`) and export the JSONL trace / CSV metrics;
 * ``lint`` — run the :mod:`repro.lint` invariant checks (determinism,
   enclave boundary, crypto hygiene, sim purity);
-* ``bench`` — run the pinned performance scenarios (:mod:`repro.perf`)
-  and write the ``BENCH_perf.json`` regression report;
+* ``bench`` — run the pinned performance scenarios (:mod:`repro.perf` and
+  the shard suite, :mod:`repro.shard.bench`) and write/refresh the
+  ``BENCH_perf.json`` / ``BENCH_shard.json`` regression reports at the
+  repository root;
 * ``vectors`` — generate/verify the conformance vector suite
   (forwards to ``python -m repro.scenario``).
 
@@ -26,6 +28,7 @@ Examples::
 
     python -m repro run --protocol raptee --nodes 300 --f 0.1 --t 0.1
     python -m repro run --nodes 300 --rounds 200 --checkpoint-every 20
+    python -m repro run --shards 8 --nodes 10000 --view-ratio 0.02 --rounds 5
     python -m repro run --engine events --latency-model lognormal:40:0.6 \\
         --load 40:30 --straggler 0.1:8 --events-trace-out latency.jsonl
     python -m repro run --resume repro-run.snapshot
@@ -36,7 +39,8 @@ Examples::
     python -m repro faults --drill membership-churn --trace-out churn.jsonl
     python -m repro trace --nodes 50 --rounds 30 --seed 7 --out trace.jsonl
     python -m repro lint src tests --format json
-    python -m repro bench --smoke --out BENCH_perf.json
+    python -m repro bench --smoke
+    python -m repro bench --suite shard --smoke
     python -m repro vectors generate
     python -m repro vectors verify --report drift.json
 """
@@ -160,6 +164,15 @@ def build_parser() -> argparse.ArgumentParser:
                             default="rounds",
                             help="simulation clock: lockstep rounds (default) "
                                  "or the event-driven engine (repro.events)")
+    run_parser.add_argument("--shards", type=int, default=None, metavar="N",
+                            help="run on the sharded batch engine "
+                                 "(repro.shard) with N partitions; output is "
+                                 "byte-identical for any N")
+    run_parser.add_argument("--shard-workers", type=int, default=1, metavar="W",
+                            help="processes for the shard partition phases "
+                                 "(default 1 = inline)")
+    run_parser.add_argument("--loss", type=float, default=0.0,
+                            help="uniform message loss rate (shard engine)")
     run_parser.add_argument("--latency-model", type=parse_latency_option,
                             default=None, metavar="SPEC",
                             help="per-link one-way delay for --engine events: "
@@ -269,6 +282,11 @@ def build_parser() -> argparse.ArgumentParser:
         "bench", help="run the pinned perf scenarios (see repro.perf.bench)"
     )
     bench_parser.add_argument(
+        "--suite", choices=("perf", "shard", "all"), default="perf",
+        help="which pinned suite to run: the legacy-engine perf suite "
+             "(default), the shard-engine suite (repro.shard.bench), or both",
+    )
+    bench_parser.add_argument(
         "--scenario", action="append", default=None, dest="scenarios",
         help="run only this pinned scenario (repeatable; default: all)",
     )
@@ -281,8 +299,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the fast-path-off reference runs (no speedup column)",
     )
     bench_parser.add_argument(
-        "--out", default=None, metavar="BENCH_perf.json",
-        help="write the JSON report here (validated against the schema)",
+        "--out", default=None, metavar="PATH",
+        help="write the JSON report here instead of the default "
+             "BENCH_perf.json / BENCH_shard.json at the repository root "
+             "(only with a single --suite)",
     )
 
     return parser
@@ -363,9 +383,70 @@ def _command_run_events(args) -> int:
     return 0
 
 
+def _command_run_shard(args) -> int:
+    from repro.shard.compile import ShardUnsupportedError, shard_config_from_topology
+    from repro.shard.engine import ShardSimulation
+
+    if args.engine == "events":
+        print("error: --shards selects the sharded rounds engine; it has no "
+              "event clock (drop --engine events)", file=sys.stderr)
+        return 2
+    if args.resume or args.checkpoint_every:
+        print("error: the shard engine has no snapshot support; use the "
+              "default rounds engine with --resume/--checkpoint-every",
+              file=sys.stderr)
+        return 2
+    if args.sketch_unbias:
+        print("error: the shard engine does not model count-min sketch "
+              "unbiasing", file=sys.stderr)
+        return 2
+    topology = TopologySpec(
+        n_nodes=args.nodes,
+        byzantine_fraction=args.f,
+        trusted_fraction=args.t if args.protocol == "raptee" else 0.0,
+        poisoned_fraction=args.poisoned if args.protocol == "raptee" else 0.0,
+        view_ratio=args.view_ratio,
+        loss_rate=args.loss,
+    )
+    try:
+        config = shard_config_from_topology(
+            topology, args.seed, protocol=args.protocol, eviction=args.eviction,
+        )
+    except ShardUnsupportedError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    simulation = ShardSimulation(
+        config, shards=args.shards, workers=args.shard_workers
+    )
+    rounds = args.rounds if args.rounds is not None else DEFAULT_RUN_ROUNDS
+    simulation.run(rounds)
+    last = simulation.trace_records[-1]
+    share = (
+        100.0 * last["byz_entries"] / last["view_entries"]
+        if last["view_entries"] else 0.0
+    )
+    stats = simulation.stats
+    state = simulation.state
+    print(f"protocol:           {args.protocol} (shard engine)")
+    print(f"nodes:              {config.n_nodes} (byz {config.n_byzantine}, "
+          f"trusted {config.n_trusted})")
+    print(f"shards:             {args.shards} "
+          f"(workers {args.shard_workers})")
+    print(f"rounds:             {rounds}")
+    print(f"byz IDs in views:   {share:.1f}%")
+    print(f"pushes sent:        {stats.pushes_sent}")
+    print(f"requests sent:      {stats.requests_sent}")
+    print(f"messages lost:      {stats.messages_lost}")
+    print(f"renewals:           {state.renewals} "
+          f"(blocked {state.blocked_rounds}, evicted {state.evicted_ids})")
+    return 0
+
+
 def _command_run(args) -> int:
     from repro.snapshot import RunState, restore, run_with_checkpoints
 
+    if args.shards is not None:
+        return _command_run_shard(args)
     if args.engine == "events":
         return _command_run_events(args)
     if args.resume:
@@ -543,27 +624,61 @@ def _command_vectors(args) -> int:
     return vectors_main(args.vectors_args)
 
 
+def _repo_root():
+    """Nearest ancestor with a pyproject.toml — where BENCH_*.json belong.
+
+    ``repro bench`` used to write only where ``--out`` pointed, so the
+    tracked trajectory files at the repository root never got refreshed;
+    anchoring the default here fixes that regardless of the working
+    directory the command runs from.
+    """
+    from pathlib import Path
+
+    here = Path.cwd()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return here
+
+
 def _command_bench(args) -> int:
     import json
 
-    from repro.perf.bench import (
-        render_bench_report,
-        run_bench,
-        validate_bench_report,
-    )
+    suites = ("perf", "shard") if args.suite == "all" else (args.suite,)
+    if len(suites) > 1 and (args.out or args.scenarios):
+        print("error: --out/--scenario need a single --suite",
+              file=sys.stderr)
+        return 2
+    for suite in suites:
+        if suite == "perf":
+            from repro.perf.bench import (
+                render_bench_report as render,
+                run_bench,
+                validate_bench_report as validate,
+            )
 
-    payload = run_bench(
-        names=args.scenarios,
-        smoke=args.smoke,
-        with_baseline=not args.no_baseline,
-    )
-    validate_bench_report(payload)
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as stream:
+            payload = run_bench(
+                names=args.scenarios,
+                smoke=args.smoke,
+                with_baseline=not args.no_baseline,
+            )
+            default_name = "BENCH_perf.json"
+        else:
+            from repro.shard.bench import (
+                render_shard_report as render,
+                run_shard_bench,
+                validate_shard_report as validate,
+            )
+
+            payload = run_shard_bench(names=args.scenarios, smoke=args.smoke)
+            default_name = "BENCH_shard.json"
+        validate(payload)
+        out = args.out if args.out else str(_repo_root() / default_name)
+        with open(out, "w", encoding="utf-8") as stream:
             json.dump(payload, stream, indent=2, sort_keys=True)
             stream.write("\n")
-        print(f"report:             {args.out}")
-    print(render_bench_report(payload))
+        print(f"report:             {out}")
+        print(render(payload))
     return 0
 
 

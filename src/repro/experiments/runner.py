@@ -23,8 +23,55 @@ __all__ = [
     "SeedTaskError",
     "run_bundle",
     "bundle_metrics",
+    "map_ordered",
     "repeat",
 ]
+
+
+def map_ordered(fn, items, workers=None, on_result=None):
+    """Apply ``fn`` to every item, returning results in *item* order.
+
+    The process-pool seam shared by :func:`repeat` (one task per seed) and
+    the sharded engine (:mod:`repro.shard.pool`, one task per partition).
+    ``workers`` ``None``/``<= 1`` — or a single item — runs inline with no
+    pool overhead; otherwise ``fn`` and the items must be picklable.
+
+    ``on_result(index, result)`` is invoked in item order for every item
+    that completed — even when another item failed, so callers that
+    checkpoint (``repeat``) keep finished work.  On failure, outstanding
+    futures are cancelled and the failure of the *earliest* item is
+    raised, whatever the completion order.
+    """
+    if workers is not None and workers < 1:
+        raise ValueError("workers must be a positive integer")
+    items = list(items)
+    if workers is None or workers <= 1 or len(items) <= 1:
+        results = []
+        for index, item in enumerate(items):
+            result = fn(item)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {pool.submit(fn, item): index for index, item in enumerate(items)}
+        done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
+        for future in not_done:
+            future.cancel()
+        failures: List[BaseException] = []
+        results_by_index: Dict[int, object] = {}
+        for future in sorted(done, key=futures.__getitem__):
+            error = future.exception()
+            if error is None:
+                index = futures[future]
+                results_by_index[index] = future.result()
+                if on_result is not None:
+                    on_result(index, results_by_index[index])
+            else:
+                failures.append(error)
+        if failures:
+            raise failures[0]  # earliest-item failure, deterministically
+        return [results_by_index[index] for index in range(len(items))]
 
 
 @dataclass(frozen=True)
@@ -164,31 +211,14 @@ def repeat(
     pending = sorted(set(seeds) - set(completed))
     task = _SeedTaggedRun(build_and_run)
 
-    def _record(seed: int, metrics: RunMetrics) -> None:
-        completed[seed] = metrics
+    def _record(index: int, metrics: RunMetrics) -> None:
+        # Record every seed that did finish — even when another seed
+        # failed — so a checkpointed sweep keeps the completed work.
+        completed[pending[index]] = metrics
         if store is not None:
-            store.record(seed, asdict(metrics))
+            store.record(pending[index], asdict(metrics))
 
-    if workers is None or workers == 1 or len(pending) <= 1:
-        for seed in pending:
-            _record(seed, task(seed))
-    else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(task, seed): seed for seed in pending}
-            done, not_done = wait(futures, return_when=FIRST_EXCEPTION)
-            for future in not_done:
-                future.cancel()
-            failures: List[BaseException] = []
-            # Record every seed that did finish — even when another seed
-            # failed — so a checkpointed sweep keeps the completed work.
-            for future in sorted(done, key=futures.__getitem__):
-                error = future.exception()
-                if error is None:
-                    _record(futures[future], future.result())
-                else:
-                    failures.append(error)
-            if failures:
-                raise failures[0]  # lowest-seed failure, deterministically
+    map_ordered(task, pending, workers=workers, on_result=_record)
 
     runs = [completed[seed] for seed in seeds]
     return RepeatedMetrics(

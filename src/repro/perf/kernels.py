@@ -8,13 +8,19 @@ The equivalence arguments, which the Hypothesis suite
 * ``scramble64`` is ``(x * M + O) mod 2^64``; numpy ``uint64`` arithmetic
   wraps modulo 2^64 by definition, so elementwise uint64 multiply-add *is*
   the scramble, no masking needed.
+* ``splitmix64_array`` is the SplitMix64 finalizer — xor-shifts and odd
+  multiplies, all mod 2^64 — so uint64 elementwise ops again *are* the
+  scalar reference (``repro.shard.rand.mix64``) with no masking.
 * The min-wise map ``(a * (s mod p) + b) mod p`` with p = 2^31 − 1 keeps
   every operand below 2^31 and every product below 2^62, so it evaluates
   exactly in ``int64`` — the same bound that lets ``brahms/sampler.py``
   vectorise.  For any other modulus the caller must use the Python loop.
 * Count-min updates/estimates are integer adds and minima over int64
-  counters; ``decay`` reproduces Python's ``int(value * factor)``
-  truncation-toward-zero because counters are never negative.
+  counters; ``decay`` truncates the *exact* rational product: a float64
+  factor is the dyadic rational num/2^shift, so ``(value * num) >> shift``
+  is ⌊value · factor⌋ with no rounding — unlike a float multiply, which
+  drifts from exact truncation once ``value * factor`` needs more than 53
+  mantissa bits (well below int64 range).
 
 numpy is an *optional* dependency: the import is guarded, callers consult
 :data:`HAVE_NUMPY` (via :func:`repro.perf.config.resolve_use_numpy`) and
@@ -38,7 +44,10 @@ except ImportError:  # pragma: no cover - exercised only on numpy-less installs
 
 __all__ = [
     "HAVE_NUMPY",
+    "SPLITMIX64_M1",
+    "SPLITMIX64_M2",
     "scramble64_array",
+    "splitmix64_array",
     "minwise_batch",
     "countmin_rows",
     "countmin_new_tables",
@@ -46,6 +55,8 @@ __all__ = [
     "countmin_estimate",
     "countmin_estimate_batch",
     "countmin_decay",
+    "decay_ratio",
+    "decay_value",
 ]
 
 HAVE_NUMPY = np is not None
@@ -64,6 +75,25 @@ def scramble64_array(values: Sequence[int]):
     # uint64 arithmetic wraps mod 2^64 — exactly the `& _WORD_MASK` of the
     # scalar reference.
     return arr * np.uint64(_SCRAMBLE_MULTIPLIER) + np.uint64(_SCRAMBLE_OFFSET)
+
+
+#: SplitMix64 finalizer constants (shared with ``repro.shard.rand.mix64``).
+SPLITMIX64_M1 = 0xBF58476D1CE4E5B9
+SPLITMIX64_M2 = 0x94D049BB133111EB
+
+
+def splitmix64_array(values):
+    """Vectorised SplitMix64 finalizer over a uint64 array (exact mod 2^64).
+
+    The scalar reference is :func:`repro.shard.rand.mix64`; uint64
+    arithmetic wraps modulo 2^64, so the xor-shift/multiply pipeline below
+    computes the identical integers.
+    """
+    _require_numpy()
+    x = np.asarray(values, dtype=np.uint64)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(SPLITMIX64_M1)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(SPLITMIX64_M2)
+    return x ^ (x >> np.uint64(31))
 
 
 def minwise_batch(a: int, b: int, p: int, values: Sequence[int]) -> List[int]:
@@ -125,12 +155,41 @@ def countmin_estimate_batch(
     return [int(v) for v in tables[rows, columns].min(axis=0)]
 
 
-def countmin_decay(tables, factor: float) -> None:
-    """In-place ``int(value * factor)`` on every counter.
+def decay_ratio(factor: float):
+    """A float factor as the dyadic rational ``(num, shift)``: factor ==
+    num / 2**shift exactly.  Shared by both decay backends so they truncate
+    the *same* exact product."""
+    num, den = float(factor).as_integer_ratio()
+    # For any finite positive float, as_integer_ratio() returns lowest
+    # terms with a power-of-two denominator.
+    return num, den.bit_length() - 1
 
-    Counters are non-negative, so float multiply + ``astype(int64)``
-    (truncation toward zero) reproduces Python's ``int()`` exactly for
-    counts below 2^53, far beyond any stream the simulator produces.
+
+def decay_value(value: int, num: int, shift: int) -> int:
+    """Exact ⌊value · num / 2**shift⌋ for a non-negative counter."""
+    return (value * num) >> shift
+
+
+def countmin_decay(tables, factor: float) -> None:
+    """In-place exact ⌊value · factor⌋ on every counter.
+
+    The factor is decomposed into ``num / 2**shift`` (exact for any float)
+    and applied as an integer multiply + right shift.  A float multiply
+    would diverge from exact truncation once the counter needs more than
+    53 mantissa bits — e.g. ``int((2**55 + 3) * 0.5)`` is 2**54 (the
+    counter is rounded before the multiply), one *below* the exact
+    ⌊·⌋ = 2**54 + 1.
+
+    The vectorised path runs only while ``value * num`` fits int64 (and the
+    shift is a valid int64 shift count); otherwise the loop falls back to
+    Python big ints, still exact, still in place.
     """
     _require_numpy()
-    tables[:] = (tables * factor).astype(np.int64)
+    num, shift = decay_ratio(factor)
+    max_value = int(tables.max())
+    if 0 <= shift <= 62 and (max_value == 0 or num <= ((1 << 63) - 1) // max_value):
+        tables[:] = (tables * np.int64(num)) >> np.int64(shift)
+        return
+    flat = tables.reshape(-1)
+    for index in range(flat.shape[0]):
+        flat[index] = decay_value(int(flat[index]), num, shift)

@@ -36,6 +36,7 @@ __all__ = [
     "compile_spec",
     "event_options_from_spec",
     "fault_plan_from_spec",
+    "shard_simulation_from_spec",
 ]
 
 
@@ -108,6 +109,12 @@ def compile_spec(spec: ScenarioSpec) -> SimulationBundle:
     (faults, engine) are wired onto the bundle by the runner so the
     telemetry → faults → events layering stays explicit.
     """
+    if spec.engine.kind == "shard":
+        raise ValueError(
+            f"scenario {spec.name!r} selects the shard engine, which builds "
+            f"no per-node SimulationBundle; compile it with "
+            f"shard_simulation_from_spec() instead"
+        )
     if spec.protocol == "brahms":
         bundle = _build_brahms_impl(
             spec.topology,
@@ -142,6 +149,25 @@ def compile_spec(spec: ScenarioSpec) -> SimulationBundle:
             )
         bundle.simulation.set_churn(churn, factory)
     return bundle
+
+
+def shard_simulation_from_spec(spec: ScenarioSpec, workers: int = 1,
+                               use_numpy=None, telemetry=None):
+    """Compile a ``kind='shard'`` spec into a ready
+    :class:`~repro.shard.engine.ShardSimulation` (partition count comes
+    from ``spec.engine.shards``).  Raises
+    :class:`~repro.shard.compile.ShardUnsupportedError` for features the
+    batch engine does not model."""
+    from repro.shard.compile import shard_config_from_spec
+    from repro.shard.engine import ShardSimulation
+
+    return ShardSimulation(
+        shard_config_from_spec(spec),
+        shards=spec.engine.shards,
+        workers=workers,
+        use_numpy=use_numpy,
+        telemetry=telemetry,
+    )
 
 
 def fault_plan_from_spec(spec: ScenarioSpec):

@@ -254,7 +254,12 @@ class EngineSpec:
     selects :mod:`repro.events`; ``latency``/``load``/``straggler`` use
     the same compact string grammar as the CLI flags
     (``lognormal:40:0.6``, ``40:30``, ``0.1:8``) so specs stay plain
-    JSON-typed data.
+    JSON-typed data.  ``kind='shard'`` selects the bulk-synchronous
+    struct-of-arrays engine (:mod:`repro.shard`); ``shards`` partitions
+    the population — a pure performance knob, since the shard engine's
+    ordering barrier makes every output byte-identical across shard
+    counts (``shards`` is only meaningful there and must stay 1 for the
+    other kinds).
     """
 
     kind: str = "rounds"
@@ -263,12 +268,23 @@ class EngineSpec:
     latency: Optional[str] = None
     load: Optional[str] = None
     straggler: Optional[str] = None
+    shards: int = 1
 
     def __post_init__(self) -> None:
-        if self.kind not in ("rounds", "events"):
+        if self.kind not in ("rounds", "events", "shard"):
             raise ScenarioSpecError(
-                f"unknown engine kind {self.kind!r} (expected rounds or events)",
+                f"unknown engine kind {self.kind!r} "
+                f"(expected rounds, events or shard)",
                 "engine.kind",
+            )
+        if isinstance(self.shards, bool) or not isinstance(self.shards, int) \
+                or self.shards < 1:
+            raise ScenarioSpecError(
+                "shards must be a positive integer", "engine.shards"
+            )
+        if self.kind != "shard" and self.shards != 1:
+            raise ScenarioSpecError(
+                "shards requires the shard engine", "engine.shards"
             )
         if self.mode not in ("barrier", "continuous"):
             raise ScenarioSpecError(
@@ -277,7 +293,7 @@ class EngineSpec:
             )
         if self.tick_interval <= 0:
             raise ScenarioSpecError("tick_interval must be positive", "engine.tick_interval")
-        if self.kind == "rounds":
+        if self.kind in ("rounds", "shard"):
             for name in ("latency", "load", "straggler"):
                 if getattr(self, name) is not None:
                     raise ScenarioSpecError(
@@ -564,6 +580,7 @@ _ENGINE_CHECKERS = {
     "latency": _optional(_check_str),
     "load": _optional(_check_str),
     "straggler": _optional(_check_str),
+    "shards": _check_int,
 }
 
 _RAPTEE_CHECKERS = {

@@ -1,0 +1,281 @@
+# lint: disable-file=det-wall-clock -- the benchmark harness exists to
+# measure wall-clock; its numbers go to BENCH_shard.json, never into the
+# protocol or the deterministic trace/metrics surface.
+"""Pinned shard-engine benchmarks and the ``BENCH_shard.json`` report.
+
+Two pinned scenarios track the tentpole targets:
+
+* ``raptee-1k-shard`` — the same topology as the legacy harness's
+  ``raptee-1k`` headline (N = 1,000, paper view ratio, full transport
+  encryption, 50 rounds).  Its ``speedup_vs_legacy`` compares against the
+  *pinned* 8.2 s/round the per-node engine costs on that scenario
+  (:data:`LEGACY_RAPTEE_1K_SECONDS_PER_ROUND`); the acceptance bar is 3×.
+* ``brahms-10k`` — the paper's full N = 10,000 population with the
+  paper's l1 = 200 view (ratio 0.02).  Per-round wall-clock is recorded
+  round by round: the first round pays the one-time sampler flood (every
+  node feeds thousands of never-seen ids through l2 min-wise samplers),
+  so the report carries ``first_round_seconds`` separately from the
+  ``steady_seconds_per_round`` mean over the remaining rounds — the
+  number the "seconds-per-round at N = 10,000" target reads.
+
+The report payload is a plain dict; :func:`validate_shard_report` is the
+schema gate CI runs against the generated artifact, and the builders here
+return data — file I/O stays in the CLI.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.experiments.scenarios import TopologySpec
+from repro.perf.kernels import HAVE_NUMPY
+from repro.shard.compile import shard_config_from_topology
+from repro.shard.engine import ShardSimulation
+
+__all__ = [
+    "ShardBenchScenario",
+    "SHARD_BENCH_SCENARIOS",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "LEGACY_RAPTEE_1K_SECONDS_PER_ROUND",
+    "run_shard_scenario",
+    "run_shard_bench",
+    "validate_shard_report",
+    "render_shard_report",
+]
+
+SCHEMA_NAME = "repro-bench-shard"
+SCHEMA_VERSION = 1
+
+#: What the legacy per-node engine costs on the raptee-1k scenario
+#: (measured by the PR 4 harness; the tentpole bar is ≥ 3× under this).
+LEGACY_RAPTEE_1K_SECONDS_PER_ROUND = 8.2
+
+
+@dataclass(frozen=True)
+class ShardBenchScenario:
+    """One pinned shard-engine benchmark configuration."""
+
+    name: str
+    protocol: str  # "brahms" | "raptee"
+    n_nodes: int
+    rounds: int
+    shards: int
+    byzantine_fraction: float = 0.10
+    trusted_fraction: float = 0.0
+    view_ratio: float = 0.02
+    loss_rate: float = 0.0
+    transport_encryption: bool = False
+    seed: int = 1
+    #: Pinned legacy s/round to compare against (None → no comparison).
+    legacy_seconds_per_round: Optional[float] = None
+
+    def smoke(self) -> "ShardBenchScenario":
+        """A seconds-scale variant for CI: same shape, tiny population."""
+        return replace(
+            self,
+            n_nodes=min(self.n_nodes, 200),
+            rounds=min(self.rounds, 5),
+            # Tiny populations need proportionally bigger views to stay
+            # above the protocol's minimum sizes.
+            view_ratio=max(self.view_ratio, 0.08),
+        )
+
+    def build(self) -> ShardSimulation:
+        topology = TopologySpec(
+            n_nodes=self.n_nodes,
+            byzantine_fraction=self.byzantine_fraction,
+            trusted_fraction=(
+                self.trusted_fraction if self.protocol == "raptee" else 0.0
+            ),
+            view_ratio=self.view_ratio,
+            loss_rate=self.loss_rate,
+            transport_encryption=self.transport_encryption,
+        )
+        config = shard_config_from_topology(
+            topology, self.seed, protocol=self.protocol,
+            brahms=topology.brahms_config().scaled(
+                self.n_nodes, view_ratio=self.view_ratio
+            ),
+        )
+        return ShardSimulation(config, shards=self.shards)
+
+    def config_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "n_nodes": self.n_nodes,
+            "rounds": self.rounds,
+            "shards": self.shards,
+            "byzantine_fraction": self.byzantine_fraction,
+            "trusted_fraction": self.trusted_fraction,
+            "view_ratio": self.view_ratio,
+            "loss_rate": self.loss_rate,
+            "transport_encryption": self.transport_encryption,
+            "seed": self.seed,
+        }
+
+
+#: The pinned suite (see the module docstring for what each tracks).
+SHARD_BENCH_SCENARIOS: Dict[str, ShardBenchScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        ShardBenchScenario(
+            name="raptee-1k-shard", protocol="raptee",
+            n_nodes=1000, rounds=50, shards=4,
+            trusted_fraction=0.01, view_ratio=0.02,
+            transport_encryption=True,
+            legacy_seconds_per_round=LEGACY_RAPTEE_1K_SECONDS_PER_ROUND,
+        ),
+        ShardBenchScenario(
+            name="brahms-10k", protocol="brahms",
+            n_nodes=10000, rounds=5, shards=8,
+            view_ratio=0.02, loss_rate=0.01,
+        ),
+    )
+}
+
+
+def run_shard_scenario(scenario: ShardBenchScenario) -> Dict[str, object]:
+    """Benchmark one scenario; returns its report entry."""
+    start = time.perf_counter()
+    simulation = scenario.build()
+    bootstrap_seconds = time.perf_counter() - start
+    round_seconds: List[float] = []
+    for _ in range(scenario.rounds):
+        tick = time.perf_counter()
+        simulation.run_round()
+        round_seconds.append(time.perf_counter() - tick)
+    wall = sum(round_seconds)
+    steady = round_seconds[1:] or round_seconds
+    stats = simulation.stats
+    entry: Dict[str, object] = {
+        "name": scenario.name,
+        "config": scenario.config_dict(),
+        "rounds": scenario.rounds,
+        "shards": scenario.shards,
+        "bootstrap_seconds": bootstrap_seconds,
+        "wall_seconds": wall,
+        "seconds_per_round": wall / scenario.rounds,
+        "first_round_seconds": round_seconds[0],
+        "steady_seconds_per_round": sum(steady) / len(steady),
+        "round_seconds": round_seconds,
+        "ops_per_round": {
+            "pushes": stats.pushes_sent / scenario.rounds,
+            "requests": stats.requests_sent / scenario.rounds,
+        },
+        "bytes_encrypted": stats.bytes_encrypted,
+    }
+    if scenario.legacy_seconds_per_round is not None:
+        entry["legacy_seconds_per_round"] = scenario.legacy_seconds_per_round
+        entry["speedup_vs_legacy"] = (
+            scenario.legacy_seconds_per_round / (wall / scenario.rounds)
+        )
+    return entry
+
+
+def run_shard_bench(
+    names: Optional[List[str]] = None, smoke: bool = False
+) -> Dict[str, object]:
+    """Run the pinned suite (or a subset) and build the report payload."""
+    selected = list(SHARD_BENCH_SCENARIOS) if not names else names
+    unknown = [name for name in selected if name not in SHARD_BENCH_SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown shard bench scenario(s): {', '.join(unknown)}")
+    entries = []
+    for name in selected:
+        scenario = SHARD_BENCH_SCENARIOS[name]
+        if smoke:
+            scenario = scenario.smoke()
+        entries.append(run_shard_scenario(scenario))
+    return {
+        "schema": SCHEMA_NAME,
+        "version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "numpy": HAVE_NUMPY,
+        "scenarios": entries,
+    }
+
+
+def validate_shard_report(payload: object) -> Dict[str, object]:
+    """Schema gate for ``BENCH_shard.json``; raises ``ValueError`` on drift.
+
+    Returns the payload on success so callers can chain.
+    """
+
+    def fail(message: str) -> None:
+        raise ValueError(f"invalid shard bench report: {message}")
+
+    if not isinstance(payload, dict):
+        fail("top level must be an object")
+    if payload.get("schema") != SCHEMA_NAME:
+        fail(f"schema must be {SCHEMA_NAME!r}")
+    if payload.get("version") != SCHEMA_VERSION:
+        fail(f"version must be {SCHEMA_VERSION}")
+    for flag in ("smoke", "numpy"):
+        if not isinstance(payload.get(flag), bool):
+            fail(f"{flag!r} must be a boolean")
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail("'scenarios' must be a non-empty list")
+    for entry in scenarios:
+        if not isinstance(entry, dict):
+            fail("each scenario must be an object")
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            fail("scenario name must be a non-empty string")
+        if not isinstance(entry.get("config"), dict):
+            fail(f"{name}: 'config' must be an object")
+        for key in ("rounds", "shards"):
+            if not (isinstance(entry.get(key), int) and entry[key] > 0):
+                fail(f"{name}: {key!r} must be a positive integer")
+        for key in ("bootstrap_seconds", "wall_seconds", "seconds_per_round",
+                    "first_round_seconds", "steady_seconds_per_round"):
+            value = entry.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"{name}: {key!r} must be a positive number")
+        per_round = entry.get("round_seconds")
+        if (
+            not isinstance(per_round, list)
+            or len(per_round) != entry["rounds"]
+            or not all(isinstance(v, (int, float)) and v > 0 for v in per_round)
+        ):
+            fail(f"{name}: 'round_seconds' must list one positive number "
+                 f"per round")
+        ops = entry.get("ops_per_round")
+        if not isinstance(ops, dict) or not all(
+            isinstance(ops.get(k), (int, float)) for k in ("pushes", "requests")
+        ):
+            fail(f"{name}: 'ops_per_round' needs numeric pushes/requests")
+        legacy = entry.get("legacy_seconds_per_round")
+        if legacy is not None:
+            if not isinstance(legacy, (int, float)) or legacy <= 0:
+                fail(f"{name}: 'legacy_seconds_per_round' must be positive")
+            speedup = entry.get("speedup_vs_legacy")
+            if not isinstance(speedup, (int, float)) or speedup <= 0:
+                fail(f"{name}: 'speedup_vs_legacy' must be a positive number")
+    return payload  # type: ignore[return-value]
+
+
+def render_shard_report(payload: Dict[str, object]) -> str:
+    """Human-readable summary of a (validated) report payload."""
+    lines = [
+        f"shard bench report ({'smoke' if payload['smoke'] else 'full'} "
+        f"scale, numpy={'yes' if payload['numpy'] else 'no'})",
+    ]
+    for entry in payload["scenarios"]:
+        lines.append(
+            f"  {entry['name']}: {entry['rounds']} rounds x "
+            f"{entry['shards']} shards in {entry['wall_seconds']:.2f}s "
+            f"({entry['seconds_per_round']:.3f}s/round mean; round 1 "
+            f"{entry['first_round_seconds']:.3f}s, steady "
+            f"{entry['steady_seconds_per_round']:.3f}s/round)"
+        )
+        legacy = entry.get("legacy_seconds_per_round")
+        if legacy is not None:
+            lines.append(
+                f"    vs legacy engine at {legacy:.1f}s/round → "
+                f"{entry['speedup_vs_legacy']:.1f}x"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,1244 @@
+"""The sharded bulk-synchronous simulation engine.
+
+One round is three phases, each a pure function of start-of-round state:
+
+1. **plan** (per partition, parallelizable) — every alive correct node in
+   the partition draws its push targets and runs its pull sessions against
+   the *frozen* start-of-round views; Byzantine pushes come from the
+   globally precomputed balanced-attack assignment.  All randomness is
+   counter-based (:mod:`repro.shard.rand`), so no draw depends on
+   iteration order or on any other partition.
+2. **barrier** (global) — partition outputs are merged and stably sorted
+   by the canonical ``(round, src, dst, seq)`` push key; pull sessions
+   carry the per-source slot ``seq = k`` and are kept in ``(round, src,
+   seq)`` order (their construction order).  Statistics and trace events
+   are emitted in these orders.  This is the step that makes runs
+   byte-identical regardless of shard count: whatever the partitioning or
+   scheduling, the merged message sequence is the same.
+3. **apply** (per partition, parallelizable) — every node integrates what
+   the barrier assigned to it: eviction, sampler updates, blocking and
+   view renewal, writing *new* state that becomes visible only at the next
+   round.
+
+Deliberate, documented differences from the legacy object engine (the
+shard engine has its own differential suite — shards=1 vs shards=4 must be
+byte-identical; it does not reproduce legacy byte streams):
+
+* Trusted swaps never mutate a view mid-round; both halves of a swap land
+  in the pulled pool and take effect at renewal (BSP discipline).
+* Transport encryption is *modeled* as deterministic byte accounting
+  (64 bytes framing + 8 per carried id per delivered leg) instead of
+  running AES over pickled payloads.
+* Min-wise samplers are fed only ids *new to the node* (duplicate feeds
+  cannot change a min), and a sampler reset replays the node's known live
+  ids under its fresh hash — the incremental form of "min over everything
+  the node has observed".
+* A sampler retains the lexicographically smallest ``(hash, id)`` pair —
+  the id tiebreak (probability ~2^-31 per pair) makes both backends and
+  any shard count agree exactly.
+
+Backend strategy: the pure-Python paths are the readable reference; the
+numpy paths compute the *same integers* wholesale — the push barrier as
+one ``lexsort``, Brahms pull sessions as boolean leg masks over
+``[nodes, β]`` key matrices, sampler feeds as a Mersenne-folded
+``(a·r + b) mod p`` matrix min.  RAPTEE sessions keep the scalar planner
+(the leg tree is deep and RAPTEE populations are comparatively small) but
+integrate through the same vectorized apply tail.  Small differential
+scenarios pin numpy == pure byte equality, which is what licenses the
+vector paths at N = 10,000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.crypto.minwise import MERSENNE_PRIME_31
+from repro.shard.rand import Purpose, key64, keyed_order
+from repro.shard.state import (
+    EMPTY_SAMPLE,
+    ShardConfig,
+    ShardState,
+    build_state,
+    partition_bounds,
+)
+from repro.sim.network import NetworkStats
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised only on numpy-less installs
+    np = None
+
+__all__ = ["ShardSimulation", "plan_partition", "apply_partition", "merge_plans"]
+
+_P = MERSENNE_PRIME_31
+_FLOAT_SCALE = 2.0 ** -53
+#: Per-session leg indices (RAPTEE runs all eight, Brahms the pull pair).
+_LEG_CH_FWD, _LEG_CH_REP = 0, 1
+_LEG_CONF_FWD, _LEG_CONF_REP = 2, 3
+_LEG_PULL_FWD, _LEG_PULL_REP = 4, 5
+_LEG_SWAP_FWD, _LEG_SWAP_REP = 6, 7
+_FRAME_BYTES = 64
+_ID_BYTES = 8
+
+
+def _leg_float(config: ShardConfig, round_no: int, src: int, k: int, leg: int) -> float:
+    return (
+        key64(config.seed, Purpose.SESSION_LOSS, round_no, src, k * 16 + leg) >> 11
+    ) * _FLOAT_SCALE
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one pull session (src, slot k), fixed at plan time."""
+
+    src: int
+    k: int
+    dst: int
+    answered: bool = False
+    trusted_batch: bool = False
+    caller_swap: bool = False
+    callee_effect: bool = False
+    requests: int = 0
+    replies: int = 0
+    losses: int = 0
+    enc_bytes: int = 0
+
+
+@dataclass
+class PartitionPlan:
+    """Everything a partition's nodes emitted this round.
+
+    Pure backend: parallel Python push lists plus :class:`SessionResult`
+    objects.  numpy backend: ``push_arrays`` holds (src, seq, dst, ok)
+    arrays, and Brahms sessions land in ``sess_arrays`` as (sources[m],
+    dst[m, β], answered[m, β]); RAPTEE sessions stay scalar objects on
+    both backends.  ``sess_*`` totals are summed at plan time either way.
+    """
+
+    lo: int
+    hi: int
+    push_src: List[int] = field(default_factory=list)
+    push_seq: List[int] = field(default_factory=list)
+    push_dst: List[int] = field(default_factory=list)
+    push_ok: List[bool] = field(default_factory=list)
+    push_arrays: Optional[Tuple] = None
+    sessions: List[SessionResult] = field(default_factory=list)
+    sess_arrays: Optional[Tuple] = None
+    sess_requests: int = 0
+    sess_replies: int = 0
+    sess_losses: int = 0
+    sess_bytes: int = 0
+
+
+def _view_len_of(state: ShardState, node: int) -> int:
+    return int(state.view_len[node])
+
+
+def _view_entry(state: ShardState, node: int, index: int) -> int:
+    return int(state.view[node][index])
+
+
+def _fake_view_start(config: ShardConfig, round_no: int, caller: int, k: int) -> int:
+    return key64(config.seed, Purpose.FAKE_VIEW, round_no, caller, k) % config.n_byzantine
+
+
+def _fake_view(config: ShardConfig, round_no: int, caller: int, k: int) -> List[int]:
+    """The adversary's pull answer: a rotating window of Byzantine ids."""
+    n_byz = config.n_byzantine
+    if n_byz == 0:
+        return []
+    start = _fake_view_start(config, round_no, caller, k)
+    count = min(config.view_size, n_byz)
+    return [(start + t) % n_byz for t in range(count)]
+
+
+def _reply_len(config: ShardConfig, state: ShardState, dst: int) -> int:
+    """Ids carried by ``dst``'s pull answer (for modeled encryption)."""
+    if config.is_byzantine(dst):
+        return min(config.view_size, config.n_byzantine) if config.n_byzantine else 0
+    return _view_len_of(state, dst)
+
+
+# -- plan phase ---------------------------------------------------------------
+
+
+def _plan_session(config: ShardConfig, state: ShardState, round_no: int,
+                  eff_loss: float, src: int, k: int, dst: int) -> SessionResult:
+    """Scalar reference for one pull session (RAPTEE on both backends;
+    Brahms on the pure backend — the vectorized Brahms path computes the
+    same bits)."""
+    result = SessionResult(src=src, k=k, dst=dst)
+    dead = not state.is_alive(dst)
+    encrypt = config.encrypt
+
+    def lost(leg: int) -> bool:
+        return eff_loss > 0.0 and _leg_float(config, round_no, src, k, leg) < eff_loss
+
+    def wire(payload_ids: int) -> None:
+        if encrypt:
+            result.enc_bytes += _FRAME_BYTES + _ID_BYTES * payload_ids
+
+    if config.protocol == "raptee":
+        both_trusted = (
+            config.trusted_exchange
+            and config.is_trusted(src)
+            and config.is_trusted(dst)
+        )
+        # Auth challenge.
+        result.requests += 1
+        if dead or lost(_LEG_CH_FWD):
+            result.losses += 1
+            return result
+        wire(0)
+        if lost(_LEG_CH_REP):
+            result.losses += 1
+            return result
+        result.replies += 1
+        wire(0)
+        # Auth confirm: the responder registers the session only if the
+        # confirm arrives; the confirm *reply* is informational.
+        result.requests += 1
+        conf_ok = not lost(_LEG_CONF_FWD)
+        if not conf_ok:
+            result.losses += 1
+        else:
+            wire(0)
+            if lost(_LEG_CONF_REP):
+                result.losses += 1
+            else:
+                result.replies += 1
+                wire(0)
+        # The Brahms pull itself.
+        result.requests += 1
+        if lost(_LEG_PULL_FWD):
+            result.losses += 1
+        else:
+            wire(0)
+            if lost(_LEG_PULL_REP):
+                result.losses += 1
+            else:
+                result.replies += 1
+                result.answered = True
+                result.trusted_batch = both_trusted
+                wire(_reply_len(config, state, dst))
+        # Trusted swap: the caller attempts it whenever the peer proved
+        # trust; the callee only honours it if the confirm registered.
+        if both_trusted:
+            result.requests += 1
+            if lost(_LEG_SWAP_FWD):
+                result.losses += 1
+            elif conf_ok:
+                wire(_view_len_of(state, src))
+                result.callee_effect = True
+                if lost(_LEG_SWAP_REP):
+                    result.losses += 1
+                else:
+                    result.replies += 1
+                    result.caller_swap = True
+                    wire(_view_len_of(state, dst))
+        return result
+
+    # Brahms: one pull request, one reply.
+    result.requests += 1
+    if dead or lost(_LEG_PULL_FWD):
+        result.losses += 1
+        return result
+    wire(0)
+    if lost(_LEG_PULL_REP):
+        result.losses += 1
+        return result
+    result.replies += 1
+    result.answered = True
+    wire(_reply_len(config, state, dst))
+    return result
+
+
+def plan_partition(
+    config: ShardConfig,
+    state: ShardState,
+    round_no: int,
+    eff_loss: float,
+    lo: int,
+    hi: int,
+    adv_src: Sequence[int],
+    adv_seq: Sequence[int],
+    adv_dst: Sequence[int],
+) -> PartitionPlan:
+    """Phase 1 for partition ``[lo, hi)``: pure function of frozen state.
+
+    ``adv_*`` are this partition's slice of the global Byzantine push
+    assignment (already restricted to sources in ``[lo, hi)``).
+    """
+    plan = PartitionPlan(lo=lo, hi=hi)
+    seed = config.seed
+    n_byz = config.n_byzantine
+
+    # Nodes that gossip this round: alive, correct, non-empty view.
+    correct = [
+        node for node in range(max(lo, n_byz), hi)
+        if state.is_alive(node) and _view_len_of(state, node) > 0
+    ]
+
+    # Byzantine push loss draws (keyed, so any shard computes the same bit).
+    byz_ok = [
+        not (
+            eff_loss > 0.0
+            and (key64(seed, Purpose.PUSH_LOSS, round_no, src, seq) >> 11)
+            * _FLOAT_SCALE < eff_loss
+        )
+        for src, seq in zip(adv_src, adv_seq)
+    ]
+
+    if state.use_numpy and np is not None:
+        _plan_pushes_numpy(config, state, round_no, eff_loss, correct, plan,
+                           adv_src, adv_seq, adv_dst, byz_ok)
+        if config.protocol == "brahms":
+            _plan_sessions_brahms_numpy(config, state, round_no, eff_loss,
+                                        correct, plan)
+            return plan
+        dst_matrix = _pull_targets_numpy(config, state, round_no, correct)
+    else:
+        for node in correct:
+            _plan_pushes_pure(config, state, round_no, eff_loss, node, plan)
+        for src, seq, dst, ok in zip(adv_src, adv_seq, adv_dst, byz_ok):
+            plan.push_src.append(src)
+            plan.push_seq.append(seq)
+            plan.push_dst.append(dst)
+            plan.push_ok.append(ok and state.is_alive(dst))
+        dst_matrix = None
+
+    # Scalar pull sessions (RAPTEE, and Brahms on the pure backend).
+    for row, node in enumerate(correct):
+        for k in range(config.beta_count):
+            if dst_matrix is not None:
+                dst = int(dst_matrix[row, k])
+            else:
+                dst = _view_entry(
+                    state, node,
+                    key64(seed, Purpose.PULL_TARGET, round_no, node, k)
+                    % _view_len_of(state, node),
+                )
+            plan.sessions.append(
+                _plan_session(config, state, round_no, eff_loss, node, k, dst)
+            )
+    for session in plan.sessions:
+        plan.sess_requests += session.requests
+        plan.sess_replies += session.replies
+        plan.sess_losses += session.losses
+        plan.sess_bytes += session.enc_bytes
+    return plan
+
+
+def _plan_pushes_pure(config: ShardConfig, state: ShardState, round_no: int,
+                      eff_loss: float, node: int, plan: PartitionPlan) -> None:
+    view_len = _view_len_of(state, node)
+    seed = config.seed
+    for k in range(config.alpha_count):
+        dst = _view_entry(
+            state, node, key64(seed, Purpose.PUSH_TARGET, round_no, node, k) % view_len
+        )
+        lost = eff_loss > 0.0 and (
+            (key64(seed, Purpose.PUSH_LOSS, round_no, node, k) >> 11) * _FLOAT_SCALE
+            < eff_loss
+        )
+        plan.push_src.append(node)
+        plan.push_seq.append(k)
+        plan.push_dst.append(dst)
+        plan.push_ok.append((not lost) and state.is_alive(dst))
+
+
+def _plan_pushes_numpy(config: ShardConfig, state: ShardState, round_no: int,
+                       eff_loss: float, correct: List[int], plan: PartitionPlan,
+                       adv_src, adv_seq, adv_dst, byz_ok) -> None:
+    from repro.shard.rand import key_array
+
+    seed = config.seed
+    if correct:
+        nodes = np.asarray(correct, dtype=np.int64)
+        slots = np.arange(config.alpha_count, dtype=np.uint64)[None, :]
+        node_col = nodes.astype(np.uint64)[:, None]
+        target_keys = key_array(seed, Purpose.PUSH_TARGET, round_no, node_col, slots)
+        lens = state.view_len[nodes][:, None].astype(np.uint64)
+        dst = state.view[nodes[:, None], (target_keys % lens).astype(np.int64)]
+        if eff_loss > 0.0:
+            loss_keys = key_array(seed, Purpose.PUSH_LOSS, round_no, node_col, slots)
+            kept = ((loss_keys >> np.uint64(11)).astype(np.float64) * _FLOAT_SCALE
+                    >= eff_loss)
+        else:
+            kept = np.ones(dst.shape, dtype=bool)
+        ok = kept & state.alive[dst]
+        count, width = dst.shape
+        hsrc = np.repeat(nodes, width)
+        hseq = np.tile(np.arange(width, dtype=np.int64), count)
+        hdst = dst.ravel()
+        hok = ok.ravel()
+    else:
+        hsrc = hseq = hdst = np.empty(0, dtype=np.int64)
+        hok = np.empty(0, dtype=bool)
+    bsrc = np.asarray(adv_src, dtype=np.int64)
+    bseq = np.asarray(adv_seq, dtype=np.int64)
+    bdst = np.asarray(adv_dst, dtype=np.int64)
+    bok = np.asarray(byz_ok, dtype=bool)
+    if bdst.size:
+        bok = bok & state.alive[bdst]
+    plan.push_arrays = (
+        np.concatenate([hsrc, bsrc]),
+        np.concatenate([hseq, bseq]),
+        np.concatenate([hdst, bdst]),
+        np.concatenate([hok, bok]),
+    )
+
+
+def _pull_targets_numpy(config: ShardConfig, state: ShardState, round_no: int,
+                        correct: List[int]):
+    from repro.shard.rand import key_array
+
+    if not correct:
+        return np.empty((0, config.beta_count), dtype=np.int64)
+    nodes = np.asarray(correct, dtype=np.int64)
+    slots = np.arange(config.beta_count, dtype=np.uint64)[None, :]
+    node_col = nodes.astype(np.uint64)[:, None]
+    keys = key_array(config.seed, Purpose.PULL_TARGET, round_no, node_col, slots)
+    lens = state.view_len[nodes][:, None].astype(np.uint64)
+    return state.view[nodes[:, None], (keys % lens).astype(np.int64)]
+
+
+def _plan_sessions_brahms_numpy(config: ShardConfig, state: ShardState,
+                                round_no: int, eff_loss: float,
+                                correct: List[int], plan: PartitionPlan) -> None:
+    """Vectorized Brahms sessions: the two leg masks of `_plan_session`,
+    computed for the whole partition at once (identical bits)."""
+    from repro.shard.rand import key_array
+
+    dst = _pull_targets_numpy(config, state, round_no, correct)
+    nodes = np.asarray(correct, dtype=np.int64)
+    dead = ~state.alive[dst] if dst.size else np.zeros(dst.shape, dtype=bool)
+    if eff_loss > 0.0 and dst.size:
+        node_col = nodes.astype(np.uint64)[:, None]
+        slots = np.arange(config.beta_count, dtype=np.uint64)[None, :] * np.uint64(16)
+        fwd_keys = key_array(config.seed, Purpose.SESSION_LOSS, round_no,
+                             node_col, slots + np.uint64(_LEG_PULL_FWD))
+        rep_keys = key_array(config.seed, Purpose.SESSION_LOSS, round_no,
+                             node_col, slots + np.uint64(_LEG_PULL_REP))
+        fwd_lost = ((fwd_keys >> np.uint64(11)).astype(np.float64) * _FLOAT_SCALE
+                    < eff_loss)
+        rep_lost = ((rep_keys >> np.uint64(11)).astype(np.float64) * _FLOAT_SCALE
+                    < eff_loss)
+    else:
+        fwd_lost = np.zeros(dst.shape, dtype=bool)
+        rep_lost = np.zeros(dst.shape, dtype=bool)
+    # Scalar reference: dead-or-forward-lost ends the session with one
+    # loss; a lost reply is the second chance to lose; otherwise answered.
+    fwd_fail = dead | fwd_lost
+    rep_fail = ~fwd_fail & rep_lost
+    answered = ~fwd_fail & ~rep_fail
+    plan.sess_arrays = (nodes, dst, answered)
+    plan.sess_requests = int(dst.size)
+    plan.sess_replies = int(answered.sum())
+    plan.sess_losses = int(fwd_fail.sum() + rep_fail.sum())
+    if config.encrypt and dst.size:
+        reply_ids = np.where(
+            dst < config.n_byzantine,
+            min(config.view_size, config.n_byzantine) if config.n_byzantine else 0,
+            state.view_len[dst],
+        )
+        plan.sess_bytes = int(
+            _FRAME_BYTES * (~fwd_fail).sum()
+            + (answered * (_FRAME_BYTES + _ID_BYTES * reply_ids)).sum()
+        )
+
+
+# -- barrier ------------------------------------------------------------------
+
+
+@dataclass
+class Barrier:
+    """The canonically ordered merge of every partition's plan."""
+
+    use_numpy: bool
+    #: Pure backend: delivered pushes per destination, in (src, seq) order.
+    pushed: Dict[int, List[int]] = field(default_factory=dict)
+    #: Sessions grouped per *caller*, in slot order (RAPTEE + pure Brahms).
+    sessions_by_src: Dict[int, List[SessionResult]] = field(default_factory=dict)
+    #: Callee-side swap effects per *destination*, in (caller, k) order.
+    swaps_by_dst: Dict[int, List[SessionResult]] = field(default_factory=dict)
+    #: numpy backend: full canonical (src, dst, seq, ok) push arrays ...
+    push_canonical: Optional[Tuple] = None
+    #: ... and the delivered subset re-sorted by (dst, src, seq), with the
+    #: destination column first — the apply phase's delivery index.
+    push_by_dst: Optional[Tuple] = None
+    #: Vectorized Brahms sessions: (sources[m], dst[m, β], answered[m, β]),
+    #: sources ascending.
+    sess_arrays: Optional[Tuple] = None
+    pushes_sent: int = 0
+    pushes_delivered: int = 0
+    requests_sent: int = 0
+    replies_delivered: int = 0
+    messages_lost: int = 0
+    enc_bytes: int = 0
+    #: Pure backend: canonically sorted (src, dst, seq, ok) for tracing.
+    push_order: List[Tuple[int, int, int, bool]] = field(default_factory=list)
+
+
+def merge_plans(plans: Sequence[PartitionPlan], use_numpy: bool = False) -> Barrier:
+    """Phase 2: the deterministic cross-shard ordering barrier.
+
+    Pushes are merged and stably sorted by ``(round, src, dst, seq)``
+    (round is constant inside a barrier); pull sessions carry the unique
+    per-source slot ``seq = k``, so their construction order — sources
+    ascending across partitions, slots ascending within a source — already
+    *is* the ``(round, src, seq)`` order and needs no re-sort.  Every
+    downstream consumer (stats, traces, per-destination delivery) iterates
+    these canonical orders, so nothing can depend on how the plans were
+    partitioned or scheduled.
+    """
+    barrier = Barrier(use_numpy=use_numpy)
+    lost_pushes = 0
+    if use_numpy and np is not None:
+        src = np.concatenate([p.push_arrays[0] for p in plans])
+        seq = np.concatenate([p.push_arrays[1] for p in plans])
+        dst = np.concatenate([p.push_arrays[2] for p in plans])
+        ok = np.concatenate([p.push_arrays[3] for p in plans])
+        order = np.lexsort((seq, dst, src))
+        src, seq, dst, ok = src[order], seq[order], dst[order], ok[order]
+        barrier.push_canonical = (src, dst, seq, ok)
+        dsrc, dseq, ddst = src[ok], seq[ok], dst[ok]
+        delivery = np.lexsort((dseq, dsrc, ddst))
+        barrier.push_by_dst = (ddst[delivery], dsrc[delivery])
+        barrier.pushes_sent = int(src.size)
+        barrier.pushes_delivered = int(ddst.size)
+        lost_pushes = barrier.pushes_sent - barrier.pushes_delivered
+    else:
+        records: List[Tuple[int, int, int, bool]] = []
+        for plan in plans:
+            records.extend(
+                zip(plan.push_src, plan.push_dst, plan.push_seq, plan.push_ok)
+            )
+        records.sort(key=lambda rec: (rec[0], rec[1], rec[2]))
+        barrier.push_order = records
+        for src_id, dst_id, _seq, delivered in records:
+            if delivered:
+                barrier.pushes_delivered += 1
+                barrier.pushed.setdefault(dst_id, []).append(src_id)
+            else:
+                lost_pushes += 1
+        barrier.pushes_sent = len(records)
+        # Delivery lists are in (src, seq) order per destination: the sort
+        # above is (src, dst, seq) and appends preserve it per dst.
+
+    if plans and plans[0].sess_arrays is not None:
+        barrier.sess_arrays = (
+            np.concatenate([p.sess_arrays[0] for p in plans]),
+            np.concatenate([p.sess_arrays[1] for p in plans]),
+            np.concatenate([p.sess_arrays[2] for p in plans]),
+        )
+    swaps: List[SessionResult] = []
+    for plan in plans:
+        for session in plan.sessions:
+            barrier.sessions_by_src.setdefault(session.src, []).append(session)
+            if session.callee_effect:
+                swaps.append(session)
+        barrier.requests_sent += plan.sess_requests
+        barrier.replies_delivered += plan.sess_replies
+        barrier.enc_bytes += plan.sess_bytes
+        barrier.messages_lost += plan.sess_losses
+    barrier.messages_lost += lost_pushes
+    swaps.sort(key=lambda s: (s.dst, s.src, s.k))
+    for session in swaps:
+        barrier.swaps_by_dst.setdefault(session.dst, []).append(session)
+    return barrier
+
+
+def _pushed_sources(barrier: Barrier, node: int):
+    """Delivered push sources for ``node``, in (src, seq) order."""
+    if barrier.push_by_dst is not None:
+        ddst, dsrc = barrier.push_by_dst
+        start = int(np.searchsorted(ddst, node, side="left"))
+        end = int(np.searchsorted(ddst, node, side="right"))
+        return dsrc[start:end]
+    return barrier.pushed.get(node, ())
+
+
+# -- apply phase --------------------------------------------------------------
+
+
+@dataclass
+class PartitionDelta:
+    """State changes computed by one partition's apply pass."""
+
+    lo: int
+    hi: int
+    new_views: List[Tuple[int, Sequence[int]]] = field(default_factory=list)
+    #: Per node: (node, sampler index sequence, packed value sequence).
+    samp_updates: List[Tuple[int, Sequence[int], Sequence[int]]] = field(
+        default_factory=list
+    )
+    samp_resets: List[Tuple[int, int, int, int, int]] = field(default_factory=list)
+    known_additions: List[Tuple[int, Sequence[int]]] = field(default_factory=list)
+    renewals: int = 0
+    blocked: int = 0
+    evicted: int = 0
+    trusted_exchanges: int = 0
+    sampler_resets: int = 0
+
+
+def _fold_mod_p(x):
+    """Exact ``x mod p`` for p = 2^31 − 1 via two folds (2^31 ≡ 1 mod p);
+    valid for 0 <= x < 2^62, which ``a·r + b`` with a, b, r < p satisfies."""
+    mask = np.int64(_P)
+    y = (x >> np.int64(31)) + (x & mask)
+    z = (y >> np.int64(31)) + (y & mask)
+    return np.where(z >= _P, z - _P, z)
+
+
+def _sampler_feed_numpy(state: ShardState, node: int, cand,
+                        delta: PartitionDelta) -> None:
+    reduced = state.reduced[cand]
+    hashed = _fold_mod_p(
+        state.samp_a[node][:, None] * reduced[None, :]
+        + state.samp_b[node][:, None]
+    )
+    packed = (hashed << np.int64(32)) | cand[None, :]
+    best = packed.min(axis=1)
+    improved = best < state.samp_best[node]
+    if improved.any():
+        slots = np.flatnonzero(improved)
+        delta.samp_updates.append((node, slots, best[slots]))
+
+
+def _sampler_feed_pure(config: ShardConfig, state: ShardState, node: int,
+                       candidates: List[int], delta: PartitionDelta) -> None:
+    a_row, b_row = state.samp_a[node], state.samp_b[node]
+    current = state.samp_best[node]
+    slots: List[int] = []
+    values: List[int] = []
+    for j in range(config.sample_size):
+        a, b = a_row[j], b_row[j]
+        best = current[j]
+        for cand in candidates:
+            packed = (((a * state.reduced[cand] + b) % _P) << 32) | cand
+            if packed < best:
+                best = packed
+        if best != current[j]:
+            slots.append(j)
+            values.append(best)
+    if slots:
+        delta.samp_updates.append((node, slots, values))
+
+
+def _keyed_subset(config: ShardConfig, round_no: int, purpose: int, node: int,
+                  items: List[int], count: int) -> List[int]:
+    """``count`` distinct items, uniform via per-index keys, kept in their
+    original order (deterministic replacement for ``rng.sample``)."""
+    if count >= len(items):
+        return list(items)
+    indexed = sorted(
+        range(len(items)),
+        key=lambda idx: (key64(config.seed, purpose, round_no, node, idx), idx),
+    )[:count]
+    indexed.sort()
+    return [items[idx] for idx in indexed]
+
+
+def _keyed_subset_numpy(config: ShardConfig, round_no: int, purpose: int,
+                        node: int, items, count: int):
+    """Vectorized `_keyed_subset`: a stable argsort on the keys breaks
+    ties by index, exactly like the scalar ``(key, idx)`` sort."""
+    if count >= len(items):
+        return items
+    from repro.shard.rand import key_array
+
+    keys = key_array(config.seed, purpose, round_no, np.uint64(node),
+                     np.arange(len(items), dtype=np.uint64))
+    chosen = np.argsort(keys, kind="stable")[:count]
+    chosen.sort()
+    return items[chosen]
+
+
+def apply_partition(
+    config: ShardConfig,
+    state: ShardState,
+    round_no: int,
+    lo: int,
+    hi: int,
+    barrier: Barrier,
+) -> PartitionDelta:
+    """Phase 3 for partition ``[lo, hi)``: integrate the barrier's output.
+
+    Reads only frozen state plus the barrier; writes land in the returned
+    delta, applied by the engine once every partition finished (so no
+    partition ever observes another's round-``r`` effects during round
+    ``r``).
+    """
+    delta = PartitionDelta(lo=lo, hi=hi)
+    validate = (
+        config.validation_period > 0
+        and round_no % config.validation_period == 0
+    )
+    if validate:
+        # Sampler validation only ever resets a sampler anchored on a dead
+        # id; with everyone alive it is a (huge) no-op — skip the scan.
+        if state.use_numpy:
+            validate = not bool(state.alive.all())
+        else:
+            validate = not all(state.alive)
+
+    if state.use_numpy and np is not None:
+        _apply_nodes_numpy(config, state, round_no, lo, hi, barrier, delta,
+                           validate)
+    else:
+        _apply_nodes_pure(config, state, round_no, lo, hi, barrier, delta,
+                          validate)
+    return delta
+
+
+def _apply_nodes_pure(config, state, round_no, lo, hi, barrier, delta,
+                      validate) -> None:
+    seed = config.seed
+    for node in range(max(lo, config.n_byzantine), hi):
+        if not state.is_alive(node):
+            continue
+        pushed = [src for src in _pushed_sources(barrier, node) if src != node]
+        sessions = barrier.sessions_by_src.get(node, ())
+
+        # Assemble pulled batches: own pull answers (slot order), the
+        # caller half of a swap right after its session's pull batch, then
+        # callee-side swap effects in (caller, k) order.
+        batches: List[Tuple[List[int], bool]] = []
+        contacts = 0
+        trusted_contacts = 0
+        for session in sessions:
+            if session.answered:
+                if config.is_byzantine(session.dst):
+                    ids = _fake_view(config, round_no, node, session.k)
+                else:
+                    ids = state.view_row(session.dst)
+                batches.append((ids, session.trusted_batch))
+                contacts += 1
+                if session.trusted_batch:
+                    trusted_contacts += 1
+            if session.caller_swap:
+                batches.append((state.view_row(session.dst), True))
+                delta.trusted_exchanges += 1
+        for session in barrier.swaps_by_dst.get(node, ()):
+            batches.append((state.view_row(session.src), True))
+            contacts += 1
+            trusted_contacts += 1
+
+        # Byzantine eviction (§IV-C) on the untrusted portion.
+        trusted_ids: List[int] = []
+        untrusted_ids: List[int] = []
+        for ids, trusted in batches:
+            bucket = trusted_ids if trusted else untrusted_ids
+            bucket.extend(pid for pid in ids if pid != node)
+        if (
+            config.eviction_kind != "none"
+            and config.is_trusted(node)
+            and untrusted_ids
+        ):
+            share = trusted_contacts / contacts if contacts else 0.0
+            rate = config.eviction_rate(share)
+            keep = len(untrusted_ids) - int(round(rate * len(untrusted_ids)))
+            delta.evicted += len(untrusted_ids) - max(0, keep)
+            if keep <= 0:
+                untrusted_ids = []
+            else:
+                untrusted_ids = _keyed_subset(
+                    config, round_no, Purpose.EVICT_KEEP, node, untrusted_ids, keep
+                )
+        pulled = trusted_ids + untrusted_ids
+
+        # Samplers: feed only ids this node has never observed (duplicate
+        # feeds are no-ops for a min), then remember them.
+        fresh = sorted(set(pushed + pulled) - state.known[node])
+        if fresh:
+            _sampler_feed_pure(config, state, node, fresh, delta)
+            delta.known_additions.append((node, fresh))
+
+        # Blocking defense and view renewal.
+        blocked = config.blocking_enabled and len(pushed) > config.alpha_count
+        if blocked:
+            delta.blocked += 1
+        if not blocked and pushed and pulled:
+            unique_pushed = list(dict.fromkeys(pushed))
+            alpha_part = _keyed_subset(
+                config, round_no, Purpose.RENEW_PUSH, node,
+                unique_pushed, config.alpha_count,
+            )
+            beta_part = [
+                pulled[key64(seed, Purpose.RENEW_PULL, round_no, node, t) % len(pulled)]
+                for t in range(config.beta_count)
+            ]
+            gamma_part: List[int] = []
+            samples = state.sample_ids(node)
+            if samples:
+                gamma_part = [
+                    samples[
+                        key64(seed, Purpose.RENEW_GAMMA, round_no, node, t)
+                        % len(samples)
+                    ]
+                    for t in range(config.gamma_count)
+                ]
+            delta.new_views.append((node, alpha_part + beta_part + gamma_part))
+            delta.renewals += 1
+
+        # Periodic sampler liveness validation (uses start-of-round
+        # liveness, like everything else in the round).
+        if validate:
+            _validate_samplers(config, state, round_no, node, fresh, delta)
+
+
+def _apply_nodes_numpy(config, state, round_no, lo, hi, barrier, delta,
+                       validate) -> None:
+    """The numpy twin of `_apply_nodes_pure`: same per-node traversal, but
+    batches stay arrays (no-copy view slices) end to end.  Bucket, stream
+    and draw orders are element-identical to the pure path."""
+    from repro.shard.rand import key_array
+
+    seed = config.seed
+    n_byz = config.n_byzantine
+    fake_count = min(config.view_size, n_byz) if n_byz else 0
+    fake_window = np.arange(fake_count, dtype=np.int64)
+    beta_slots = np.arange(config.beta_count, dtype=np.uint64)
+    gamma_slots = np.arange(config.gamma_count, dtype=np.uint64)
+    empty = np.empty(0, dtype=np.int64)
+    bsrc = bdst = bans = None
+    if barrier.sess_arrays is not None:
+        bsrc, bdst, bans = barrier.sess_arrays
+
+    for node in range(max(lo, n_byz), hi):
+        if not state.alive[node]:
+            continue
+        pushed = _pushed_sources(barrier, node)
+        pushed = pushed[pushed != node]
+
+        # Pulled batches in slot order, each an id array + trusted flag;
+        # the pure path builds the same batches as lists.
+        trusted_parts: List = []
+        untrusted_parts: List = []
+        contacts = 0
+        trusted_contacts = 0
+        if bsrc is not None and bsrc.size:
+            row = int(np.searchsorted(bsrc, node))
+            if row < bsrc.size and bsrc[row] == node:
+                for k in np.flatnonzero(bans[row]):
+                    dst = int(bdst[row, k])
+                    if dst < n_byz:
+                        start = _fake_view_start(config, round_no, node, int(k))
+                        ids = (start + fake_window) % n_byz
+                    else:
+                        ids = state.view[dst, : state.view_len[dst]]
+                    untrusted_parts.append(ids)
+                    contacts += 1
+        for session in barrier.sessions_by_src.get(node, ()):
+            if session.answered:
+                dst = session.dst
+                if dst < n_byz:
+                    start = _fake_view_start(config, round_no, node, session.k)
+                    ids = (start + fake_window) % n_byz
+                else:
+                    ids = state.view[dst, : state.view_len[dst]]
+                (trusted_parts if session.trusted_batch
+                 else untrusted_parts).append(ids)
+                contacts += 1
+                if session.trusted_batch:
+                    trusted_contacts += 1
+            if session.caller_swap:
+                dst = session.dst
+                trusted_parts.append(state.view[dst, : state.view_len[dst]])
+                delta.trusted_exchanges += 1
+        for session in barrier.swaps_by_dst.get(node, ()):
+            src = session.src
+            trusted_parts.append(state.view[src, : state.view_len[src]])
+            contacts += 1
+            trusted_contacts += 1
+
+        trusted_ids = np.concatenate(trusted_parts) if trusted_parts else empty
+        untrusted_ids = (
+            np.concatenate(untrusted_parts) if untrusted_parts else empty
+        )
+        # Self-filter after concatenation == per-batch filter (order kept).
+        trusted_ids = trusted_ids[trusted_ids != node]
+        untrusted_ids = untrusted_ids[untrusted_ids != node]
+        if (
+            config.eviction_kind != "none"
+            and config.is_trusted(node)
+            and untrusted_ids.size
+        ):
+            share = trusted_contacts / contacts if contacts else 0.0
+            rate = config.eviction_rate(share)
+            total = int(untrusted_ids.size)
+            keep = total - int(round(rate * total))
+            delta.evicted += total - max(0, keep)
+            if keep <= 0:
+                untrusted_ids = empty
+            else:
+                untrusted_ids = _keyed_subset_numpy(
+                    config, round_no, Purpose.EVICT_KEEP, node,
+                    untrusted_ids, keep,
+                )
+        pulled = np.concatenate([trusted_ids, untrusted_ids])
+
+        stream = np.concatenate([pushed, pulled])
+        if stream.size:
+            novel = stream[~state.known[node, stream]]
+            fresh = np.unique(novel) if novel.size else empty
+        else:
+            fresh = empty
+        if fresh.size:
+            _sampler_feed_numpy(state, node, fresh, delta)
+            delta.known_additions.append((node, fresh))
+
+        blocked = config.blocking_enabled and pushed.size > config.alpha_count
+        if blocked:
+            delta.blocked += 1
+        if not blocked and pushed.size and pulled.size:
+            unique_pushed = list(dict.fromkeys(pushed.tolist()))
+            alpha_part = np.asarray(
+                _keyed_subset(
+                    config, round_no, Purpose.RENEW_PUSH, node,
+                    unique_pushed, config.alpha_count,
+                ),
+                dtype=np.int64,
+            )
+            beta_keys = key_array(seed, Purpose.RENEW_PULL, round_no,
+                                  np.uint64(node), beta_slots)
+            beta_part = pulled[
+                (beta_keys % np.uint64(pulled.size)).astype(np.int64)
+            ]
+            packed_row = state.samp_best[node]
+            samples = (packed_row[packed_row != EMPTY_SAMPLE]
+                       & np.int64(0xFFFFFFFF))
+            if samples.size and config.gamma_count:
+                gamma_keys = key_array(seed, Purpose.RENEW_GAMMA, round_no,
+                                       np.uint64(node), gamma_slots)
+                gamma_part = samples[
+                    (gamma_keys % np.uint64(samples.size)).astype(np.int64)
+                ]
+            else:
+                gamma_part = empty
+            delta.new_views.append(
+                (node, np.concatenate([alpha_part, beta_part, gamma_part]))
+            )
+            delta.renewals += 1
+
+        if validate:
+            _validate_samplers(config, state, round_no, node,
+                               [int(v) for v in fresh], delta)
+
+
+def _validate_samplers(config: ShardConfig, state: ShardState, round_no: int,
+                       node: int, fresh: List[int], delta: PartitionDelta) -> None:
+    """Reset samplers anchored on dead ids; replay known live ids so the
+    fresh hash function still ranges over everything the node observed."""
+    replay: Optional[List[int]] = None
+    for j in range(config.sample_size):
+        packed = int(state.samp_best[node][j])
+        if packed == EMPTY_SAMPLE:
+            continue
+        current = packed & 0xFFFFFFFF
+        if state.is_alive(current):
+            continue
+        new_a = 1 + key64(
+            config.seed, Purpose.SAMPLER_RESET_A, round_no, node, j
+        ) % (_P - 1)
+        new_b = key64(
+            config.seed, Purpose.SAMPLER_RESET_B, round_no, node, j
+        ) % _P
+        if replay is None:
+            replay = _known_live(state, node, fresh)
+        best = EMPTY_SAMPLE
+        for cand in replay:
+            packed_cand = (((new_a * int(state.reduced[cand]) + new_b) % _P) << 32) | cand
+            if packed_cand < best:
+                best = packed_cand
+        delta.samp_resets.append((node, j, new_a, new_b, best))
+        delta.sampler_resets += 1
+
+
+def _known_live(state: ShardState, node: int, fresh: List[int]) -> List[int]:
+    """The node's observed ids (including this round's) that are alive."""
+    if state.use_numpy:
+        known = np.flatnonzero(state.known[node])
+        merged = np.union1d(known, np.asarray(fresh, dtype=np.int64)) if fresh else known
+        live = merged[state.alive[merged.astype(np.int64)]]
+        return [int(v) for v in live]
+    merged = set(state.known[node])
+    merged.update(fresh)
+    return sorted(c for c in merged if state.is_alive(c))
+
+
+# -- the driver ---------------------------------------------------------------
+
+
+class ShardSimulation:
+    """Drives :class:`ShardState` through bulk-synchronous rounds.
+
+    ``shards`` controls partitioning, ``workers`` how many processes run
+    the partition phases (``<= 1`` → inline).  Both are *performance*
+    knobs: the barrier makes every output byte-identical across any
+    combination — that is the property the shard differential suite pins.
+    """
+
+    def __init__(
+        self,
+        config: ShardConfig,
+        shards: int = 1,
+        workers: int = 1,
+        use_numpy: Optional[bool] = None,
+        telemetry=None,
+    ):
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        self.config = config
+        self.shards = shards
+        self.workers = workers
+        self.state = build_state(config, use_numpy=use_numpy)
+        self.stats = NetworkStats()
+        self.round_number = 0
+        self.telemetry = telemetry
+        self.trace_records: List[Dict[str, object]] = []
+        self._bounds = partition_bounds(config.n_nodes, shards)
+
+    # -- faults ---------------------------------------------------------------
+
+    def _apply_crash_schedule(self) -> None:
+        for node, at_round, down_rounds in self.config.crashes:
+            if self.round_number == at_round:
+                self.state.alive[node] = False
+                self._emit("shard.crash", node=node)
+            elif self.round_number == at_round + down_rounds:
+                self.state.alive[node] = True
+                self._emit("shard.restart", node=node)
+
+    def _effective_loss(self) -> float:
+        keep = 1.0 - self.config.loss_rate
+        for first, last, rate in self.config.loss_bursts:
+            if first <= self.round_number <= last:
+                keep *= 1.0 - rate
+        return 1.0 - keep
+
+    # -- adversary ------------------------------------------------------------
+
+    def _adversary_assignment(self) -> Tuple[List[int], List[int], List[int]]:
+        """The balanced attack: spread the adversary's whole push budget
+        evenly over the correct population (deterministic multiset)."""
+        config, state = self.config, self.state
+        byz_alive = [b for b in range(config.n_byzantine) if state.is_alive(b)]
+        correct_alive = [
+            node for node in range(config.n_byzantine, config.n_nodes)
+            if state.is_alive(node)
+        ]
+        if not byz_alive or not correct_alive:
+            return [], [], []
+        limit = config.byz_push_limit
+        total = len(byz_alive) * limit
+        perm = keyed_order(
+            correct_alive, config.seed, Purpose.ADV_ORDER, self.round_number
+        )
+        quota, remainder = divmod(total, len(perm))
+        pool: List[int] = []
+        for index, victim in enumerate(perm):
+            pool.extend([victim] * (quota + (1 if index < remainder else 0)))
+        src: List[int] = []
+        seq: List[int] = []
+        dst: List[int] = []
+        for b_index, byz in enumerate(byz_alive):
+            share = pool[b_index * limit:(b_index + 1) * limit]
+            src.extend([byz] * len(share))
+            seq.extend(range(len(share)))
+            dst.extend(share)
+        return src, seq, dst
+
+    # -- telemetry ------------------------------------------------------------
+
+    def _emit(self, name: str, **fields: object) -> None:
+        if self.telemetry is not None:
+            self.telemetry.event(name, **fields)
+
+    def _count(self, name: str, amount: int, **labels: object) -> None:
+        if self.telemetry is not None and amount:
+            self.telemetry.counter(name, **labels).inc(amount)
+
+    # -- rounds ---------------------------------------------------------------
+
+    def run_round(self) -> None:
+        self.round_number += 1
+        round_no = self.round_number
+        if self.telemetry is not None:
+            self.telemetry.begin_round(round_no)
+        self._apply_crash_schedule()
+        eff_loss = self._effective_loss()
+        adv_src, adv_seq, adv_dst = self._adversary_assignment()
+
+        plans = self._run_plans(round_no, eff_loss, adv_src, adv_seq, adv_dst)
+        barrier = merge_plans(plans, self.state.use_numpy)
+        self._record_barrier(round_no, barrier)
+        deltas = self._run_applies(round_no, barrier)
+        self._integrate(deltas)
+        self._close_round(round_no, barrier, deltas)
+
+    def _run_plans(self, round_no, eff_loss, adv_src, adv_seq, adv_dst):
+        tasks = []
+        for lo, hi in self._bounds:
+            indices = [
+                i for i, src in enumerate(adv_src) if lo <= src < hi
+            ]
+            tasks.append((
+                self.config, self.state, round_no, eff_loss, lo, hi,
+                [adv_src[i] for i in indices],
+                [adv_seq[i] for i in indices],
+                [adv_dst[i] for i in indices],
+            ))
+        from repro.shard.pool import map_partitions
+
+        return map_partitions(plan_partition, tasks, self.workers)
+
+    def _run_applies(self, round_no: int, barrier: Barrier):
+        tasks = [
+            (self.config, self.state, round_no, lo, hi, barrier)
+            for lo, hi in self._bounds
+        ]
+        from repro.shard.pool import map_partitions
+
+        return map_partitions(apply_partition, tasks, self.workers)
+
+    def _integrate(self, deltas: Sequence[PartitionDelta]) -> None:
+        state = self.state
+        for delta in deltas:
+            for node, row in delta.new_views:
+                state.set_view_row(node, row)
+            for node, slots, packed in delta.samp_updates:
+                if state.use_numpy:
+                    state.samp_best[node][slots] = packed
+                else:
+                    for j, value in zip(slots, packed):
+                        state.samp_best[node][j] = value
+            for node, j, new_a, new_b, packed in delta.samp_resets:
+                state.samp_a[node][j] = new_a
+                state.samp_b[node][j] = new_b
+                state.samp_best[node][j] = packed
+            for node, fresh in delta.known_additions:
+                if state.use_numpy:
+                    state.known[node, fresh] = True
+                else:
+                    state.known[node].update(fresh)
+            state.renewals += delta.renewals
+            state.blocked_rounds += delta.blocked
+            state.evicted_ids += delta.evicted
+            state.trusted_exchanges += delta.trusted_exchanges
+            state.sampler_resets += delta.sampler_resets
+
+    def _record_barrier(self, round_no: int, barrier: Barrier) -> None:
+        stats = self.stats
+        stats.pushes_sent += barrier.pushes_sent
+        stats.pushes_delivered += barrier.pushes_delivered
+        stats.requests_sent += barrier.requests_sent
+        stats.replies_delivered += barrier.replies_delivered
+        stats.messages_lost += barrier.messages_lost
+        stats.bytes_encrypted += barrier.enc_bytes
+        stats.per_round_pushes[round_no] += barrier.pushes_sent
+        stats.per_round_requests[round_no] += barrier.requests_sent
+        stats.per_round_losses[round_no] += barrier.messages_lost
+        self._count("network.pushes_sent", barrier.pushes_sent)
+        self._count("network.pushes_delivered", barrier.pushes_delivered)
+        self._count("network.messages_lost", barrier.messages_lost)
+        self._count("network.requests_sent", barrier.requests_sent, kind="session")
+        self._count("network.replies_delivered", barrier.replies_delivered,
+                    kind="session")
+        telemetry = self.telemetry
+        if telemetry is None or not telemetry.config.trace_messages:
+            return
+        # Message tracing iterates the canonical orders scalar-wise; meant
+        # for the small pinned differential scenarios, not N = 10,000.
+        if barrier.push_canonical is not None:
+            psrc, pdst, _pseq, pok = barrier.push_canonical
+            for i in range(psrc.size):
+                telemetry.event("net.push", node=int(psrc[i]), dst=int(pdst[i]),
+                                delivered=bool(pok[i]))
+        else:
+            for src_id, dst_id, _seq, ok in barrier.push_order:
+                telemetry.event("net.push", node=src_id, dst=dst_id,
+                                delivered=bool(ok))
+        if barrier.sess_arrays is not None:
+            bsrc, bdst, bans = barrier.sess_arrays
+            for row in range(bsrc.size):
+                for k in range(bdst.shape[1]):
+                    telemetry.event(
+                        "net.request",
+                        node=int(bsrc[row]),
+                        dst=int(bdst[row, k]),
+                        delivered=bool(bans[row, k]),
+                        swap=False,
+                    )
+        for src_id in sorted(barrier.sessions_by_src):
+            for session in barrier.sessions_by_src[src_id]:
+                telemetry.event(
+                    "net.request",
+                    node=session.src,
+                    dst=session.dst,
+                    delivered=session.answered,
+                    swap=session.callee_effect,
+                )
+
+    def _close_round(self, round_no: int, barrier: Barrier,
+                     deltas: Sequence[PartitionDelta]) -> None:
+        byz_entries, total_entries = self._view_poll()
+        byz_share = byz_entries / total_entries if total_entries else 0.0
+        record = {
+            "round": round_no,
+            "pushes": barrier.pushes_sent,
+            "requests": barrier.requests_sent,
+            "losses": barrier.messages_lost,
+            "renewals": sum(d.renewals for d in deltas),
+            "blocked": sum(d.blocked for d in deltas),
+            "evicted": sum(d.evicted for d in deltas),
+            "byz_entries": byz_entries,
+            "view_entries": total_entries,
+        }
+        self.trace_records.append(record)
+        if self.telemetry is not None:
+            self.telemetry.gauge("shard.byz_view_share").set(byz_share)
+            self.telemetry.event("round.stats", **record)
+            if self.state.use_numpy:
+                alive = int(self.state.alive.sum())
+            else:
+                alive = sum(1 for flag in self.state.alive if flag)
+            self.telemetry.end_round(alive)
+
+    def _view_poll(self) -> Tuple[int, int]:
+        """(Byzantine entries, total entries) across correct alive views."""
+        config, state = self.config, self.state
+        byz_entries = 0
+        total = 0
+        if state.use_numpy:
+            lens = state.view_len[config.n_byzantine:]
+            alive = state.alive[config.n_byzantine:]
+            rows = state.view[config.n_byzantine:]
+            valid = (
+                np.arange(rows.shape[1])[None, :] < lens[:, None]
+            ) & alive[:, None]
+            byz_entries = int(((rows < config.n_byzantine) & valid & (rows >= 0)).sum())
+            total = int(lens[alive].sum())
+        else:
+            for node in range(config.n_byzantine, config.n_nodes):
+                if not state.is_alive(node):
+                    continue
+                row = state.view[node]
+                byz_entries += sum(1 for v in row if v < config.n_byzantine)
+                total += len(row)
+        return byz_entries, total
+
+    def run(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.run_round()
+
+    # -- outputs --------------------------------------------------------------
+
+    def final_views(self) -> Dict[int, List[int]]:
+        """Every correct node's view, in id order (byte-compare surface)."""
+        return {
+            node: self.state.view_row(node)
+            for node in range(self.config.n_byzantine, self.config.n_nodes)
+        }

@@ -324,3 +324,19 @@ class Simulation:
             self.run_round()
             for observer in observers:
                 observer.on_round_end(self)
+
+    def final_views(self) -> Dict[int, List[int]]:
+        """Every correct node's current view, in id order.
+
+        The same byte-compare surface the sharded engine exposes
+        (:meth:`repro.shard.engine.ShardSimulation.final_views`), so
+        cross-engine comparisons read both through one call.  Crashed
+        (``alive=False``) correct nodes are included — their frozen view
+        is part of the state being compared — while departed nodes are
+        not, matching the shard engine's crash model.
+        """
+        return {
+            node_id: list(self.nodes[node_id].view_ids())
+            for node_id in sorted(self.nodes)
+            if not self.nodes[node_id].kind.is_byzantine
+        }

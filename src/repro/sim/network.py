@@ -17,10 +17,12 @@ request-response sessions (pull, auth, trusted swap).  It models:
   keystream serve both wire directions, which is what makes encrypted
   paper-scale runs feasible.
 
-All traffic is counted — total and per round.  The per-round tallies are
-kept as plain integers on the hot path and flushed into the
-:class:`NetworkStats` counters when the round advances or ``stats`` is
-read, so per-message bookkeeping costs integer adds, not Counter hashing.
+All traffic is counted — total and per round.  Per-round tallies are
+applied eagerly, message by message: a lazy flush would leave the shared
+:class:`NetworkStats` object internally inconsistent for any holder of the
+``stats`` reference (totals eager, per-round Counters stale) and risks
+misattributing a round's tail to its successor.  Counter increments keyed
+by a small int are cheap enough for the hot path.
 """
 
 from __future__ import annotations
@@ -89,10 +91,6 @@ class Network:
         self._fault_hook: Optional[FaultHook] = None
         self._stats = NetworkStats()
         self._current_round = 0
-        # Per-round tallies, flushed lazily (see class docstring).
-        self._pending_pushes = 0
-        self._pending_requests = 0
-        self._pending_losses = 0
         self.telemetry: Optional["Telemetry"] = None
         # Cached telemetry handles; None / False when no hub is wired, so
         # the un-instrumented hot path pays one attribute test per message.
@@ -106,16 +104,14 @@ class Network:
     # -- snapshot support ------------------------------------------------------
 
     def __getstate__(self) -> Dict[str, object]:
-        """Pickle the network with its pending tallies flushed and the
-        per-pair block-cipher cache dropped.
+        """Pickle the network with the per-pair block-cipher cache dropped.
 
         The cipher cache is a pure memo over ``_pair_keys`` (each entry is
         re-derived on demand from the kept key), so dropping it shrinks
         snapshots without changing a single observable byte of a resumed
-        run.  Flushing first means the serialized ``NetworkStats`` is
-        exactly what a reader of :attr:`stats` would have seen.
+        run.  Tallies are eager, so the serialized :class:`NetworkStats`
+        is exactly what a reader of :attr:`stats` sees.
         """
-        self._flush_round_tallies()
         state = dict(self.__dict__)
         state["_pair_ciphers"] = {}
         return state
@@ -143,8 +139,9 @@ class Network:
 
     @property
     def stats(self) -> NetworkStats:
-        """Lifetime counters; reading flushes the pending round tallies."""
-        self._flush_round_tallies()
+        """Lifetime counters, always consistent — tallies apply eagerly,
+        so a reference held across messages or a round boundary never sees
+        totals ahead of the per-round Counters."""
         return self._stats
 
     @property
@@ -153,20 +150,7 @@ class Network:
 
     @current_round.setter
     def current_round(self, round_number: int) -> None:
-        if round_number != self._current_round:
-            self._flush_round_tallies()
-            self._current_round = round_number
-
-    def _flush_round_tallies(self) -> None:
-        if self._pending_pushes:
-            self._stats.per_round_pushes[self._current_round] += self._pending_pushes
-            self._pending_pushes = 0
-        if self._pending_requests:
-            self._stats.per_round_requests[self._current_round] += self._pending_requests
-            self._pending_requests = 0
-        if self._pending_losses:
-            self._stats.per_round_losses[self._current_round] += self._pending_losses
-            self._pending_losses = 0
+        self._current_round = round_number
 
     # -- topology --------------------------------------------------------------
 
@@ -273,7 +257,7 @@ class Network:
 
     def _count_loss(self) -> None:
         self._stats.messages_lost += 1
-        self._pending_losses += 1
+        self._stats.per_round_losses[self._current_round] += 1
         if self._ctr_messages_lost is not None:
             self._ctr_messages_lost.inc()
 
@@ -288,7 +272,7 @@ class Network:
         """Deliver a push from ``src`` to ``dst``; returns delivery success."""
         stats = self._stats
         stats.pushes_sent += 1
-        self._pending_pushes += 1
+        stats.per_round_pushes[self._current_round] += 1
         if self._ctr_pushes_sent is not None:
             self._ctr_pushes_sent.inc()
         if self._fault_dropped(src, dst) or self._lost() or not self.is_reachable(dst):
@@ -317,7 +301,7 @@ class Network:
         """Synchronous request-response; ``None`` on loss or dead peer."""
         stats = self._stats
         stats.requests_sent += 1
-        self._pending_requests += 1
+        stats.per_round_requests[self._current_round] += 1
         kind = type(message).__name__
         instrumented = self.telemetry is not None
         if instrumented:

@@ -51,6 +51,23 @@ class NodeKind(enum.Enum):
     def is_byzantine(self) -> bool:
         return self is NodeKind.BYZANTINE
 
+    @classmethod
+    def for_banded_id(
+        cls, node_id: int, n_byzantine: int, n_trusted: int = 0
+    ) -> "NodeKind":
+        """Role under the id-banded layout every topology builder uses:
+        ids ``[0, n_byzantine)`` are Byzantine, the next ``n_trusted`` are
+        trusted, the rest honest.  The struct-of-arrays engine
+        (:mod:`repro.shard`) has no node objects to ask, so it derives
+        roles from this band structure — keeping the mapping here makes
+        both engines answer "who is node i" from one definition.
+        """
+        if node_id < n_byzantine:
+            return cls.BYZANTINE
+        if node_id < n_byzantine + n_trusted:
+            return cls.TRUSTED
+        return cls.HONEST
+
 
 class NodeBase:
     """Base class for all simulated nodes."""

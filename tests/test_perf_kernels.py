@@ -135,6 +135,61 @@ class TestCountMin:
         for item in items[:20]:
             assert pure.estimate(item) == vec.estimate(item)
 
+    def test_large_counter_decay_is_exact_integer_truncation(self):
+        # Regression: the numpy decay used to multiply in float64, which
+        # rounds any counter needing more than 53 mantissa bits *before*
+        # the multiply — int((2**55 + 3) * 0.5) == 2**54, one below the
+        # exact ⌊(2**55 + 3) / 2⌋ == 2**54 + 1.
+        value = 2**55 + 3
+        tables = kernels.countmin_new_tables(1, 4)
+        tables[0, 0] = value  # updates can't cheaply reach 2**55
+        kernels.countmin_decay(tables, 0.5)
+        assert int(tables[0, 0]) == value // 2 == 2**54 + 1
+        assert int(tables[0, 0]) != int(value * 0.5)
+
+    def test_huge_counter_decay_falls_back_to_bigints(self):
+        # value * num overflows int64 for a many-mantissa-bit factor; the
+        # kernel must drop to the Python big-int loop, still exact.
+        import math
+        from fractions import Fraction
+
+        value, factor = 2**60 + 7, 0.3
+        tables = kernels.countmin_new_tables(2, 2)
+        tables[0, 0] = value
+        tables[1, 1] = 12345
+        kernels.countmin_decay(tables, factor)
+        assert int(tables[0, 0]) == math.floor(Fraction(value) * Fraction(factor))
+        assert int(tables[1, 1]) == math.floor(Fraction(12345) * Fraction(factor))
+
+    @COMMON
+    @given(
+        value=st.integers(min_value=2**53, max_value=2**62 - 1),
+        factor=st.floats(min_value=0.01, max_value=0.99,
+                         allow_nan=False, allow_infinity=False),
+    )
+    def test_large_counter_decay_matches_exact_rational(self, value, factor):
+        # Above 2**53 the float product and the exact rational product
+        # disagree for most inputs; both backends must track the latter.
+        import math
+        from fractions import Fraction
+
+        exact = math.floor(Fraction(value) * Fraction(factor))
+        num, shift = kernels.decay_ratio(factor)
+        assert kernels.decay_value(value, num, shift) == exact
+        tables = kernels.countmin_new_tables(1, 1)
+        tables[0, 0] = value
+        kernels.countmin_decay(tables, factor)
+        assert int(tables[0, 0]) == exact
+
+    def test_sketch_backends_agree_on_large_counters(self):
+        pure, vec = _mirror_sketches(4, 2, seed=9)
+        for sketch in (pure, vec):
+            sketch.update(42, 2**54 + 11)
+        pure.decay(0.5)
+        vec.decay(0.5)
+        assert pure.total == vec.total == (2**54 + 11) // 2
+        assert pure.estimate(42) == vec.estimate(42)
+
     def test_resolution_follows_fastpath_flag(self):
         with fastpaths(True):
             assert CountMinSketch(8, 2, random.Random(0)).use_numpy

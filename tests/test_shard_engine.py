@@ -1,0 +1,294 @@
+"""Unit tests for the sharded engine's building blocks.
+
+The differential suite (``test_shard_differential.py``) pins whole-run
+byte-identity; this file pins the pieces that identity rests on — the
+counter-based randomness (scalar == vector), the Mersenne fold, partition
+bounds, the compile-time feature gate, the ``EngineSpec.shards`` knob, the
+bench report schema, and the CLI surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.crypto.minwise import MERSENNE_PRIME_31
+from repro.perf.kernels import HAVE_NUMPY
+from repro.scenario.spec import EngineSpec, ScenarioSpecError
+from repro.shard import partition_bounds
+from repro.shard.bench import (
+    ShardBenchScenario,
+    render_shard_report,
+    run_shard_bench,
+    validate_shard_report,
+)
+from repro.shard.compile import (
+    ShardUnsupportedError,
+    eviction_fields,
+    shard_config_from_topology,
+)
+from repro.shard.engine import _fold_mod_p
+from repro.shard.rand import Purpose, key64, key_array, keyed_order, rand_float
+
+from repro.experiments.scenarios import TopologySpec
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="requires numpy")
+
+
+class TestCounterRandomness:
+    @needs_numpy
+    def test_key_array_matches_scalar(self):
+        import numpy as np
+
+        a_values = list(range(0, 400, 7))
+        b_values = [v * 3 + 1 for v in range(len(a_values))]
+        for purpose in (Purpose.PUSH_TARGET, Purpose.SESSION_LOSS,
+                        Purpose.RENEW_GAMMA, Purpose.BOOTSTRAP):
+            batched = key_array(11, purpose, 5, np.asarray(a_values),
+                                np.asarray(b_values))
+            expected = [key64(11, purpose, 5, a, b)
+                        for a, b in zip(a_values, b_values)]
+            assert [int(v) for v in batched] == expected
+
+    @needs_numpy
+    def test_key_array_broadcasts(self):
+        import numpy as np
+
+        batched = key_array(3, Purpose.EVICT_KEEP, 2, np.uint64(9),
+                            np.arange(16, dtype=np.uint64))
+        assert [int(v) for v in batched] == [
+            key64(3, Purpose.EVICT_KEEP, 2, 9, b) for b in range(16)
+        ]
+
+    def test_draws_are_coordinate_pure(self):
+        # Same coordinates, same draw — no hidden sequence state.
+        assert key64(1, 2, 3, 4, 5) == key64(1, 2, 3, 4, 5)
+        # Each coordinate matters.
+        baseline = key64(1, 2, 3, 4, 5)
+        assert baseline != key64(2, 2, 3, 4, 5)
+        assert baseline != key64(1, 3, 3, 4, 5)
+        assert baseline != key64(1, 2, 4, 4, 5)
+        assert baseline != key64(1, 2, 3, 5, 5)
+        assert baseline != key64(1, 2, 3, 4, 6)
+
+    def test_rand_float_unit_interval(self):
+        values = [rand_float(7, Purpose.PUSH_LOSS, r, n)
+                  for r in range(20) for n in range(20)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        assert len(set(values)) > 350  # essentially no collisions
+
+    def test_keyed_order_is_permutation(self):
+        items = list(range(50))
+        ordered = keyed_order(items, 5, Purpose.ADV_ORDER, 9)
+        assert sorted(ordered) == items
+        assert ordered != items  # astronomically unlikely to be identity
+        assert ordered == keyed_order(items, 5, Purpose.ADV_ORDER, 9)
+        assert ordered != keyed_order(items, 5, Purpose.ADV_ORDER, 10)
+
+
+@needs_numpy
+class TestMersenneFold:
+    def test_fold_matches_modulo(self):
+        import numpy as np
+
+        p = MERSENNE_PRIME_31
+        edges = [0, 1, p - 1, p, p + 1, 2 * p, (1 << 62) - 1]
+        spread = [(k * 0x9E3779B9_7F4A7C15) % (1 << 62) for k in range(2000)]
+        values = np.asarray(edges + spread, dtype=np.int64)
+        folded = _fold_mod_p(values)
+        assert [int(v) for v in folded] == [int(v) % p for v in values]
+
+
+class TestPartitionBounds:
+    def test_bounds_cover_population(self):
+        for n_nodes in (1, 7, 100, 10_000):
+            for shards in (1, 3, 8, 16):
+                bounds = partition_bounds(n_nodes, shards)
+                assert bounds[0][0] == 0 and bounds[-1][1] == n_nodes
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+                sizes = [hi - lo for lo, hi in bounds]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_nodes_collapses(self):
+        assert len(partition_bounds(3, 8)) == 3
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            partition_bounds(10, 0)
+
+
+class TestCompileGate:
+    def test_poisoned_views_unsupported(self):
+        topology = TopologySpec(n_nodes=60, byzantine_fraction=0.1,
+                                trusted_fraction=0.05, poisoned_fraction=0.2)
+        with pytest.raises(ShardUnsupportedError, match="poisoned"):
+            shard_config_from_topology(topology, seed=1)
+
+    def test_unknown_eviction_policy_unsupported(self):
+        class Weird:
+            pass
+
+        with pytest.raises(ShardUnsupportedError, match="Weird"):
+            eviction_fields(Weird())
+
+    def test_brahms_forces_eviction_off(self):
+        topology = TopologySpec(n_nodes=60, byzantine_fraction=0.1)
+        config = shard_config_from_topology(topology, seed=1, protocol="brahms")
+        assert config.eviction_kind == "none"
+
+    def test_spec_with_wrong_engine_kind_rejected(self):
+        from repro.scenario.spec import ScenarioSpec
+        from repro.shard.compile import shard_config_from_spec
+
+        spec = ScenarioSpec(
+            name="not-shard", protocol="brahms",
+            topology=TopologySpec(n_nodes=60, byzantine_fraction=0.1),
+            seed=1, rounds=5,
+        )
+        with pytest.raises(ValueError, match="engine.kind"):
+            shard_config_from_spec(spec)
+
+
+class TestEngineSpecShards:
+    def test_shard_kind_accepts_partitions(self):
+        assert EngineSpec(kind="shard", shards=4).shards == 4
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ScenarioSpecError):
+            EngineSpec(kind="shard", shards=0)
+        with pytest.raises(ScenarioSpecError):
+            EngineSpec(kind="shard", shards=True)
+
+    def test_other_engines_must_keep_one(self):
+        with pytest.raises(ScenarioSpecError):
+            EngineSpec(kind="rounds", shards=2)
+
+
+TINY = ShardBenchScenario(
+    name="tiny", protocol="brahms", n_nodes=40, rounds=3, shards=2,
+    view_ratio=0.2,
+)
+
+
+class TestShardBench:
+    def test_report_roundtrip(self, monkeypatch):
+        from repro.shard import bench as shard_bench
+
+        monkeypatch.setitem(shard_bench.SHARD_BENCH_SCENARIOS, "tiny", TINY)
+        payload = run_shard_bench(names=["tiny"], smoke=True)
+        validate_shard_report(payload)
+        entry = payload["scenarios"][0]
+        assert entry["rounds"] == 3
+        assert len(entry["round_seconds"]) == 3
+        assert entry["seconds_per_round"] > 0
+        rendered = render_shard_report(payload)
+        assert "tiny" in rendered and "3 rounds x 2 shards" in rendered
+
+    def test_speedup_column_present_when_pinned(self, monkeypatch):
+        from dataclasses import replace
+
+        from repro.shard import bench as shard_bench
+
+        pinned = replace(TINY, legacy_seconds_per_round=8.2)
+        monkeypatch.setitem(shard_bench.SHARD_BENCH_SCENARIOS, "tiny", pinned)
+        payload = run_shard_bench(names=["tiny"], smoke=True)
+        entry = validate_shard_report(payload)["scenarios"][0]
+        assert entry["speedup_vs_legacy"] == pytest.approx(
+            8.2 / entry["seconds_per_round"]
+        )
+        assert "vs legacy engine" in render_shard_report(payload)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            run_shard_bench(names=["no-such-scenario"])
+
+    def test_validate_rejects_drift(self, monkeypatch):
+        from repro.shard import bench as shard_bench
+
+        monkeypatch.setitem(shard_bench.SHARD_BENCH_SCENARIOS, "tiny", TINY)
+        payload = run_shard_bench(names=["tiny"], smoke=True)
+        bad = dict(payload, schema="something-else")
+        with pytest.raises(ValueError, match="schema"):
+            validate_shard_report(bad)
+        truncated = json.loads(json.dumps(payload))
+        truncated["scenarios"][0]["round_seconds"].pop()
+        with pytest.raises(ValueError, match="round_seconds"):
+            validate_shard_report(truncated)
+
+
+class TestCli:
+    def test_run_shards_smoke(self, capsys):
+        exit_code = main([
+            "run", "--protocol", "brahms", "--nodes", "60", "--rounds", "6",
+            "--f", "0.1", "--view-ratio", "0.15", "--shards", "3",
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "brahms (shard engine)" in out
+        assert "shards:             3" in out
+        assert "byz IDs in views" in out
+
+    def test_shards_reject_event_clock(self, capsys):
+        exit_code = main([
+            "run", "--engine", "events", "--shards", "2",
+            "--nodes", "60", "--rounds", "2",
+        ])
+        assert exit_code == 2
+        assert "no event clock" in capsys.readouterr().err
+
+    def test_shards_reject_snapshots(self, capsys, tmp_path):
+        exit_code = main([
+            "run", "--shards", "2", "--nodes", "60", "--rounds", "2",
+            "--checkpoint-every", "1",
+            "--checkpoint-out", str(tmp_path / "x.snapshot"),
+        ])
+        assert exit_code == 2
+        assert "snapshot" in capsys.readouterr().err
+
+    def test_shards_reject_unsupported_topology(self, capsys):
+        exit_code = main([
+            "run", "--shards", "2", "--nodes", "60", "--rounds", "2",
+            "--poisoned", "0.2",
+        ])
+        assert exit_code == 2
+        assert "poisoned" in capsys.readouterr().err
+
+    def test_bench_defaults_to_repo_root(self, capsys, tmp_path, monkeypatch):
+        # Regression: the default report path is anchored at the nearest
+        # pyproject.toml ancestor, not the working directory — running
+        # from a subdirectory used to scatter BENCH files around the tree
+        # (or, with --out required, never refresh the tracked ones).
+        from repro.shard import bench as shard_bench
+
+        (tmp_path / "pyproject.toml").write_text("[tool.fake]\n",
+                                                 encoding="utf-8")
+        nested = tmp_path / "src" / "deep"
+        nested.mkdir(parents=True)
+        monkeypatch.chdir(nested)
+        monkeypatch.setitem(shard_bench.SHARD_BENCH_SCENARIOS, "tiny", TINY)
+        exit_code = main(["bench", "--suite", "shard", "--scenario", "tiny"])
+        assert exit_code == 0
+        report_path = tmp_path / "BENCH_shard.json"
+        assert report_path.is_file()
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        validate_shard_report(payload)
+        assert str(report_path) in capsys.readouterr().out
+
+    def test_bench_out_overrides_root_anchor(self, tmp_path, monkeypatch):
+        from repro.shard import bench as shard_bench
+
+        monkeypatch.setitem(shard_bench.SHARD_BENCH_SCENARIOS, "tiny", TINY)
+        out = tmp_path / "custom.json"
+        exit_code = main(["bench", "--suite", "shard", "--scenario", "tiny",
+                          "--out", str(out)])
+        assert exit_code == 0
+        validate_shard_report(json.loads(out.read_text(encoding="utf-8")))
+
+    def test_bench_all_suites_rejects_out(self, capsys, tmp_path):
+        exit_code = main(["bench", "--suite", "all", "--smoke",
+                          "--out", str(tmp_path / "x.json")])
+        assert exit_code == 2
+        assert "single --suite" in capsys.readouterr().err

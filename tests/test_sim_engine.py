@@ -82,6 +82,51 @@ class TestPhases:
         assert observer.calls == 5
 
 
+class TestFinalViews:
+    def test_final_views_surface_matches_shard_contract(self):
+        sim, _log = make_sim(n=4)
+        for node_id, node in sim.nodes.items():
+            node.seed_view([(node_id + 1) % 4, (node_id + 2) % 4])
+        sim.set_node_alive(2, False)  # crashed, but its frozen view stays
+        views = sim.final_views()
+        assert list(views) == [0, 1, 2, 3]  # id order, like the shard engine
+        assert views[2] == [3, 0]
+        sim.remove_node(3)  # departed nodes drop out entirely
+        assert list(sim.final_views()) == [0, 1, 2]
+
+    def test_byzantine_nodes_excluded(self):
+        sim, log = make_sim(n=2)
+        byz = PhaseRecorder(9, log)
+        byz.kind = NodeKind.BYZANTINE
+        sim.add_node(byz)
+        assert list(sim.final_views()) == [0, 1]
+
+
+class TestBandedKinds:
+    def test_banded_layout_single_definition(self):
+        # Both engines answer "who is node i" from this one mapping.
+        assert NodeKind.for_banded_id(0, 3, 2) is NodeKind.BYZANTINE
+        assert NodeKind.for_banded_id(2, 3, 2) is NodeKind.BYZANTINE
+        assert NodeKind.for_banded_id(3, 3, 2) is NodeKind.TRUSTED
+        assert NodeKind.for_banded_id(4, 3, 2) is NodeKind.TRUSTED
+        assert NodeKind.for_banded_id(5, 3, 2) is NodeKind.HONEST
+        assert NodeKind.for_banded_id(1, 0) is NodeKind.HONEST
+
+    def test_shard_config_delegates(self):
+        from repro.shard.state import ShardConfig
+
+        config = ShardConfig(
+            protocol="raptee", n_nodes=10, seed=1,
+            n_byzantine=3, n_trusted=2, view_size=4, sample_size=2,
+        )
+        assert [config.kind_of(i) for i in range(6)] == [
+            "byzantine", "byzantine", "byzantine", "trusted", "trusted",
+            "honest",
+        ]
+        assert config.is_byzantine(2) and not config.is_byzantine(3)
+        assert config.is_trusted(4) and not config.is_trusted(5)
+
+
 class TestMembership:
     def test_kind_queries(self):
         sim, _log = make_sim(n=3)

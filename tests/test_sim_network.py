@@ -170,6 +170,32 @@ class TestPerRoundCounters:
         assert peak_round({}) is None
 
 
+class TestStatsRoundAttribution:
+    def test_stats_read_across_round_boundary(self, network):
+        # Regression: per-round tallies used to be flushed lazily on the
+        # next round transition, so a holder of the ``stats`` reference
+        # reading mid-round saw totals ahead of the per-round Counters,
+        # and a round's tail could be misattributed to its successor.
+        a, b = EchoNode(1), EchoNode(2)
+        network.register(a)
+        network.register(b)
+        stats = network.stats  # held across rounds, like a metrics exporter
+        network.current_round = 7
+        network.send_push(1, 2)
+        network.request(1, 2, PullRequest(sender=1))
+        # Mid-round read: per-round tallies must already agree with the
+        # lifetime totals — eagerly, not after the next round's flush.
+        assert stats.per_round_pushes[7] == 1 == stats.pushes_sent
+        assert stats.per_round_requests[7] == 1 == stats.requests_sent
+        network.current_round = 8
+        network.send_push(2, 1)
+        # Round 7's tail stays in round 7; nothing bleeds into round 8.
+        assert stats.per_round_pushes[7] == 1
+        assert stats.per_round_pushes[8] == 1
+        assert stats.per_round_requests[8] == 0
+        assert stats.pushes_sent == 2
+
+
 class ChurnChatterNode(EchoNode):
     """Echo node that actually gossips, so encrypted pair keys get minted."""
 
